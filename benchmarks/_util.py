@@ -1,0 +1,10 @@
+"""Benchmark sizing helpers (shared by every figure bench)."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_jobs(default: int) -> int:
+    """Workload size for benches; override with REPRO_BENCH_JOBS."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))

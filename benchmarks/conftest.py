@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the corresponding rows/series, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.  Simulations are deterministic, so one
+round is enough; ``REPRO_BENCH_JOBS`` scales the workloads up or down.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Figure tables printed by benches are also appended here, so a plain
+#: ``pytest benchmarks/ --benchmark-only`` (without -s) still leaves a
+#: readable reproduction report behind.
+REPORT_PATH = Path(__file__).parent / "latest_report.txt"
+
+
+def pytest_sessionstart(session):
+    if REPORT_PATH.exists():
+        REPORT_PATH.unlink()
+
+
+@pytest.fixture(autouse=True)
+def record_report(request, capsys):
+    """Append each bench's printed tables to the report file."""
+    yield
+    captured = capsys.readouterr()
+    if captured.out.strip():
+        with REPORT_PATH.open("a") as handle:
+            handle.write(f"===== {request.node.nodeid}\n{captured.out}\n")
+        # Re-emit so -s-style visibility is preserved where possible.
+        print(captured.out, end="")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

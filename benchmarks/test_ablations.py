@@ -1,0 +1,82 @@
+"""Ablations of Gurita's design choices (DESIGN.md §6).
+
+One bench per knob the design calls out: the rule-4 critical-path bonus,
+starvation mitigation (WRR vs raw SPQ), the number of priority queues,
+the head-receiver update interval δ, the demotion-threshold spacing, and
+the WRR weight reading.  Each prints average JCT per variant on a fixed
+trace-driven scenario.
+"""
+
+from _util import bench_jobs
+
+import pytest
+
+from repro.experiments.ablations import (
+    critical_path_variants,
+    queue_count_variants,
+    run_variants,
+    starvation_variants,
+    summarize,
+    threshold_variants,
+    update_interval_variants,
+    wrr_weight_mode_variants,
+)
+from repro.experiments.common import ScenarioConfig
+
+
+def scenario():
+    return ScenarioConfig(name="ablation", num_jobs=bench_jobs(40), seed=13)
+
+
+def _report(title, results):
+    print(f"\n{title}")
+    for name, jct in summarize(results):
+        print(f"  {name:16s} avg JCT {jct:8.4f}s")
+
+
+def test_ablation_critical_path(run_once):
+    results = run_once(run_variants, scenario(), critical_path_variants())
+    _report("ABLATION rule-4 critical-path bonus lambda:", results)
+    jcts = {name: r.average_jct() for name, r in results.items()}
+    # The bonus is a marginal nudge: it must not blow up the schedule.
+    assert max(jcts.values()) < 1.5 * min(jcts.values())
+
+
+def test_ablation_starvation(run_once):
+    results = run_once(run_variants, scenario(), starvation_variants())
+    _report("ABLATION starvation mitigation (WRR emulation vs raw SPQ):", results)
+    assert set(results) == {"wrr", "spq"}
+    for result in results.values():
+        assert result.all_done
+
+
+def test_ablation_queue_count(run_once):
+    results = run_once(run_variants, scenario(), queue_count_variants())
+    _report("ABLATION number of priority queues K:", results)
+    jcts = {name: r.average_jct() for name, r in results.items()}
+    # More queues means finer demotion: K=4 (the paper's pick) should not
+    # lose badly to K=2.
+    assert jcts["K=4"] <= jcts["K=2"] * 1.25
+
+
+def test_ablation_update_interval(run_once):
+    results = run_once(run_variants, scenario(), update_interval_variants())
+    _report("ABLATION head-receiver update interval delta:", results)
+    jcts = summarize(results)
+    # Coarser coordination degrades gracefully, not catastrophically.
+    assert jcts[-1][1] < 2.0 * jcts[0][1]
+
+
+def test_ablation_thresholds(run_once):
+    results = run_once(run_variants, scenario(), threshold_variants())
+    _report("ABLATION demotion-threshold exponential base:", results)
+    assert all(result.all_done for result in results.values())
+
+
+def test_ablation_wrr_weight_mode(run_once):
+    results = run_once(run_variants, scenario(), wrr_weight_mode_variants())
+    _report(
+        "ABLATION WRR weights: inverse-wait (ours) vs literal paper formula:",
+        results,
+    )
+    assert all(result.all_done for result in results.values())

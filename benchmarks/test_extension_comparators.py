@@ -1,0 +1,38 @@
+"""Extension comparison: Gurita vs clairvoyant SEBF and per-flow LAS.
+
+Beyond the paper's own comparators, two reference points bracket Gurita:
+
+* **SEBF (Varys)** — clairvoyant coflow scheduling: knows every remaining
+  flow size up front.  The related-work section dismisses it as
+  impractical ("assumes that job size and structure are known ahead of
+  time"); the bench shows how much of that oracle's advantage Gurita
+  recovers without any prior knowledge.
+* **LAS (PIAS-style)** — information-agnostic like Gurita, but purely
+  per-flow: no coflow or stage awareness.  The gap between LAS and Gurita
+  isolates the value of the coflow/stage abstraction itself.
+"""
+
+from _util import bench_jobs
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.metrics.report import format_bar_chart
+
+
+def test_extension_comparators(run_once):
+    config = ScenarioConfig(
+        name="extensions",
+        num_jobs=bench_jobs(40),
+        seed=27,
+        schedulers=("pfs", "las", "sebf", "gurita"),
+    )
+    outcome = run_once(run_scenario, config)
+    jcts = outcome.average_jcts()
+    factors = {name: jcts[name] / jcts["gurita"] for name in jcts}
+    print("\nEXTENSION  average JCT relative to Gurita (>1 = slower):")
+    print(format_bar_chart({k: v for k, v in factors.items() if k != "gurita"}))
+
+    # Gurita (no prior knowledge) must beat both agnostic baselines...
+    assert jcts["gurita"] < jcts["pfs"]
+    assert jcts["gurita"] < jcts["las"] * 1.05
+    # ...while the full oracle may stay ahead, within a bounded margin.
+    assert jcts["sebf"] > jcts["gurita"] * 0.7

@@ -1,0 +1,41 @@
+"""Figure 5 — average improvement across four scenarios.
+
+Paper: Gurita outperforms PFS by up to 2x and Baraat by up to 1.8x (and
+Stream by up to 1.5x) on average in the trace-driven and bursty scenarios
+with both DAG structures, while matching centralized Aalo (within ~5%)
+without its global view.
+
+The bench prints one row per scenario (FB-t, CD-t, FB-b, CD-b), each an
+improvement factor of Gurita over the named comparator — Figure 5's bars.
+"""
+
+from _util import bench_jobs
+
+from repro.experiments.common import run_scenario
+from repro.experiments.figures import figure5_configs
+from repro.metrics.report import format_improvement_row
+
+
+def test_fig5_average_improvement(run_once):
+    configs = figure5_configs(num_jobs=bench_jobs(40))
+
+    def experiment():
+        return {config.name: run_scenario(config) for config in configs}
+
+    outcomes = run_once(experiment)
+    print("\nFIG5  improvement of Gurita (>1 = Gurita faster):")
+    rows = {}
+    for name, outcome in outcomes.items():
+        rows[name] = outcome.improvements_over("gurita")
+        print(format_improvement_row(name, rows[name]))
+
+    for name, factors in rows.items():
+        # Decentralized TBS comparators: Gurita must win on average in
+        # every scenario; the paper's factors (2x, 1.8x, 1.5x) are upper
+        # ends, so assert the direction with slack for the smaller scale.
+        assert factors["pfs"] > 1.0, (name, factors)
+        assert factors["baraat"] > 1.0, (name, factors)
+        # Centralized Aalo with a perfect global view: parity within 15%.
+        assert factors["aalo"] > 0.85, (name, factors)
+        # Stream: parity or better everywhere.
+        assert factors["stream"] > 0.9, (name, factors)

@@ -1,0 +1,40 @@
+"""Figure 6 — trace-driven per-category improvement (6a FB-Tao, 6b TPC-DS).
+
+Paper: Gurita beats PFS in every category — by up to 8.5x for the small
+categories — and Baraat by up to 5x; it beats Stream in most categories
+(up to 4x); against Aalo it matches everywhere except category I with the
+FB-Tao structure, where the centralized global view wins by ~0.1x.
+"""
+
+import pytest
+
+from _util import bench_jobs
+
+from repro.experiments.common import run_scenario
+from repro.experiments.figures import figure6_config
+from repro.metrics.report import format_category_table
+
+
+@pytest.mark.parametrize("structure", ["fb-tao", "tpcds"])
+def test_fig6_per_category(run_once, structure):
+    config = figure6_config(structure, num_jobs=bench_jobs(70))
+    outcome = run_once(run_scenario, config)
+    table = outcome.category_improvements_over("gurita")
+    print(
+        "\n"
+        + format_category_table(
+            table,
+            title=f"FIG6 ({structure}) improvement of Gurita per category:",
+        )
+    )
+    # Small-job categories (I-II): Gurita strongly beats PFS and Baraat.
+    small = [cat for cat in (1, 2) if cat in table["pfs"]]
+    assert small, "workload must populate small categories"
+    assert max(table["pfs"][cat] for cat in small) > 1.3
+    assert max(table["baraat"][cat] for cat in small) > 1.3
+    # Mid categories: the stage-aware advantage over TBS (Aalo/Stream).
+    mid = [cat for cat in (3, 4, 5) if cat in table["aalo"]]
+    assert mid and max(table["aalo"][cat] for cat in mid) > 1.0
+    # Aggregate win over every decentralized comparator.
+    overall = outcome.improvements_over("gurita")
+    assert overall["pfs"] > 1.0 and overall["baraat"] > 1.0

@@ -1,0 +1,46 @@
+"""Simulator scalability: events/second across fabric and workload sizes.
+
+Not a paper figure, but the substrate's own performance envelope — how
+fast the flow-level simulator chews through events as the FatTree and the
+workload grow.  Useful when sizing a full-scale (k=48, 10k jobs) run.
+"""
+
+from _util import bench_jobs
+
+from repro.experiments.common import ScenarioConfig, build_jobs
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.fattree import FatTreeTopology
+
+
+def test_event_throughput_scales(run_once):
+    def experiment():
+        rows = []
+        import time
+
+        for k, jobs_count in ((4, 20), (8, bench_jobs(40))):
+            topology = FatTreeTopology(k=k)
+            config = ScenarioConfig(num_jobs=jobs_count, fattree_k=k, seed=3)
+            jobs = build_jobs(config, topology.num_hosts)
+            flows = sum(len(c.flows) for j in jobs for c in j.coflows)
+            start = time.perf_counter()
+            result = simulate(topology, make_scheduler("gurita"), jobs)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (k, jobs_count, flows, result.events_processed, elapsed)
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print("\nSCALABILITY  flow-level simulator throughput (gurita policy):")
+    for k, jobs_count, flows, events, elapsed in rows:
+        rate = events / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"  k={k:2d} ({FatTreeTopology(k=k).num_hosts:4d} hosts) "
+            f"{jobs_count:4d} jobs {flows:6d} flows  "
+            f"{events:7d} events in {elapsed:6.2f}s  ({rate:8.0f} ev/s)"
+        )
+    for _k, _jobs, flows, events, _elapsed in rows:
+        # Sanity: event count stays within a small multiple of flow count
+        # (arrivals + completions + periodic updates), not quadratic.
+        assert events < 60 * flows + 10_000

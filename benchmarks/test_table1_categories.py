@@ -1,0 +1,51 @@
+"""Table 1 — the seven job-size categories.
+
+Table 1 is the paper's bucketing of jobs by total bytes (6MB-80MB ...
+>1TB).  This bench verifies the synthesized Facebook-like workload
+actually spans the table — every per-category figure depends on it — and
+prints the category census for the benchmark seed.
+"""
+
+from _util import bench_jobs
+
+from repro.workloads.categories import (
+    category_bounds,
+    category_label,
+    category_of,
+)
+from repro.workloads.generator import synthesize_workload
+
+
+def test_table1_category_coverage(run_once):
+    def census():
+        jobs = synthesize_workload(
+            num_jobs=max(bench_jobs(300), 200), num_hosts=128, seed=42
+        )
+        counts = {}
+        for job in jobs:
+            counts[category_of(job.total_bytes)] = (
+                counts.get(category_of(job.total_bytes), 0) + 1
+            )
+        return counts
+
+    counts = run_once(census)
+    print("\nTABLE1  category census of the synthesized trace:")
+    total = sum(counts.values())
+    for category in sorted(counts):
+        low, high = category_bounds(category)
+        label = category_label(category)
+        bound_text = (
+            f"{low / 1e6:>8.0f}MB - {high / 1e6:>10.0f}MB"
+            if high != float("inf")
+            else f"{'> 1TB':>23s}"
+        )
+        print(
+            f"  {label:>4s}  {bound_text}   {counts[category]:4d} jobs "
+            f"({100.0 * counts[category] / total:4.1f}%)"
+        )
+    # The mixture must populate the small, middle, and elephant regimes.
+    assert counts.get(1, 0) > 0 and counts.get(2, 0) > 0
+    assert counts.get(3, 0) > 0
+    assert sum(counts.get(cat, 0) for cat in (5, 6, 7)) > 0
+    # Small jobs dominate by count (the trace's heavy tail is in bytes).
+    assert counts[1] > total * 0.3

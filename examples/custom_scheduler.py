@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Extending the library: write and evaluate your own scheduling policy.
+
+Implements "SEBF-lite" — Varys-style Smallest Effective Bottleneck First,
+ranking running coflows by their largest remaining flow — as a ~30-line
+subclass of SchedulerPolicy, then races it against Gurita and PFS on the
+same workload.  Use this as a template for your own policies: override the
+hooks you need and return an AllocationRequest.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from typing import List
+
+from repro import FatTreeTopology, make_scheduler, simulate, synthesize_workload
+from repro.jobs import Flow
+from repro.schedulers.base import SchedulerPolicy
+from repro.simulator.bandwidth.request import AllocationMode, AllocationRequest
+
+
+class SebfLite(SchedulerPolicy):
+    """Smallest Effective Bottleneck First (clairvoyant, coflow-level).
+
+    Ranks running coflows by the remaining bytes of their largest flow —
+    the coflow whose bottleneck clears soonest goes first — and maps the
+    rank onto the switch priority queues.  This is the scheduling core of
+    Varys, one of the TBS-family systems the paper discusses.
+    """
+
+    name = "sebf-lite"
+
+    def __init__(self, num_classes: int = 8) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        assert self.context is not None
+        bottleneck = {}
+        for flow in active_flows:
+            cid = flow.coflow_id
+            bottleneck[cid] = max(bottleneck.get(cid, 0.0), flow.remaining_bytes)
+        ranked = sorted(bottleneck, key=lambda cid: (bottleneck[cid], cid))
+        coflow_class = {
+            cid: min(rank, self.num_classes - 1)
+            for rank, cid in enumerate(ranked)
+        }
+        return AllocationRequest(
+            mode=AllocationMode.SPQ,
+            priorities={
+                f.flow_id: coflow_class[f.coflow_id] for f in active_flows
+            },
+            num_classes=self.num_classes,
+        )
+
+
+def main() -> None:
+    contenders = [SebfLite(), make_scheduler("gurita"), make_scheduler("pfs")]
+    print("Racing sebf-lite vs gurita vs pfs on an identical workload...\n")
+    results = {}
+    for scheduler in contenders:
+        topology = FatTreeTopology(k=8)
+        jobs = synthesize_workload(
+            num_jobs=30, num_hosts=topology.num_hosts, structure="tpcds", seed=21
+        )
+        results[scheduler.name] = simulate(topology, scheduler, jobs)
+
+    for name, result in sorted(
+        results.items(), key=lambda kv: kv[1].average_jct()
+    ):
+        print(f"  {name:10s} average JCT {result.average_jct():8.4f}s")
+    print(
+        "\nNote: sebf-lite is clairvoyant (it reads remaining flow sizes), "
+        "yet stage-aware Gurita stays competitive without any such oracle."
+    )
+
+
+if __name__ == "__main__":
+    main()

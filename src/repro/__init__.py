@@ -1,0 +1,78 @@
+"""Gurita reproduction: multi-stage coflow scheduling for datacenters.
+
+Reproduces *"A Near Optimal Multi-Faced Job Scheduler for Datacenter
+Workloads"* (ICDCS 2019): the Gurita Least-Blocking-Effect-First scheduler,
+its GuritaPlus oracle, the comparators (PFS, Baraat, Stream, Aalo), a
+flow-level datacenter network simulator (FatTree + ECMP + SPQ/WRR), and
+the paper's workloads and experiments.
+
+Quickstart::
+
+    from repro import (FatTreeTopology, GuritaScheduler, simulate,
+                       synthesize_workload)
+
+    topology = FatTreeTopology(k=8)
+    jobs = synthesize_workload(num_jobs=50, num_hosts=topology.num_hosts,
+                               structure="fb-tao", seed=1)
+    result = simulate(topology, GuritaScheduler(), jobs)
+    print(result.average_jct())
+"""
+
+from repro.core import GuritaConfig, GuritaPlusScheduler, GuritaScheduler
+from repro.jobs import (
+    Coflow,
+    CoflowDag,
+    Flow,
+    IdAllocator,
+    Job,
+    JobBuilder,
+    chain_job,
+    single_stage_job,
+)
+from repro.schedulers import (
+    AaloScheduler,
+    BaraatScheduler,
+    PerFlowFairSharing,
+    SchedulerPolicy,
+    StreamScheduler,
+)
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.simulator import (
+    BigSwitchTopology,
+    CoflowSimulation,
+    FatTreeTopology,
+    SimulationResult,
+    TEN_GBPS,
+    simulate,
+)
+from repro.workloads import synthesize_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AaloScheduler",
+    "BaraatScheduler",
+    "BigSwitchTopology",
+    "Coflow",
+    "CoflowDag",
+    "CoflowSimulation",
+    "FatTreeTopology",
+    "Flow",
+    "GuritaConfig",
+    "GuritaPlusScheduler",
+    "GuritaScheduler",
+    "IdAllocator",
+    "Job",
+    "JobBuilder",
+    "PerFlowFairSharing",
+    "SchedulerPolicy",
+    "SimulationResult",
+    "StreamScheduler",
+    "TEN_GBPS",
+    "available_schedulers",
+    "chain_job",
+    "make_scheduler",
+    "simulate",
+    "single_stage_job",
+    "synthesize_workload",
+]

@@ -1,0 +1,187 @@
+"""Command-line interface: run scenarios, figures, and trace tooling.
+
+Examples::
+
+    python -m repro info
+    python -m repro scenario --structure tpcds --jobs 40 --arrival bursty
+    python -m repro figure fig5 --jobs 40 --out fig5.json
+    python -m repro trace --synthesize 200 --out /tmp/trace.txt
+    python -m repro trace --stats /tmp/trace.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.experiments.figures import (
+    figure5_configs,
+    figure6_config,
+    figure7_config,
+    figure8_config,
+)
+from repro.metrics.report import (
+    format_category_table,
+    format_improvement_row,
+    format_jct_table,
+)
+from repro.metrics.serialize import comparison_to_dict, save_json
+from repro.schedulers.registry import available_schedulers
+from repro.workloads.fbtrace import parse_trace, synthesize_trace, write_trace
+from repro.workloads.stats import format_trace_stats, trace_stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gurita (ICDCS 2019) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library, schedulers, and topology info")
+
+    scenario = sub.add_parser("scenario", help="run one scenario")
+    scenario.add_argument("--structure", default="fb-tao")
+    scenario.add_argument("--jobs", type=int, default=40)
+    scenario.add_argument(
+        "--arrival", default="uniform",
+        choices=["uniform", "poisson", "bursty", "simultaneous"],
+    )
+    scenario.add_argument("--seed", type=int, default=42)
+    scenario.add_argument("--load", type=float, default=1.5)
+    scenario.add_argument("--fattree-k", type=int, default=8)
+    scenario.add_argument(
+        "--schedulers",
+        default="pfs,baraat,stream,aalo,gurita",
+        help="comma-separated policy names",
+    )
+    scenario.add_argument("--out", help="write results JSON here")
+
+    figure = sub.add_parser("figure", help="reproduce one paper figure")
+    figure.add_argument(
+        "name", choices=["fig5", "fig6", "fig7", "fig8"],
+    )
+    figure.add_argument("--structure", default="fb-tao")
+    figure.add_argument("--jobs", type=int, default=None)
+    figure.add_argument("--out", help="write results JSON here")
+
+    trace = sub.add_parser("trace", help="trace tooling")
+    trace.add_argument("--synthesize", type=int, metavar="N")
+    trace.add_argument("--machines", type=int, default=3000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", help="trace output path")
+    trace.add_argument("--stats", metavar="PATH", help="summarise a trace file")
+
+    return parser
+
+
+def cmd_info() -> int:
+    from repro.simulator.topology.fattree import FatTreeTopology
+
+    print(f"repro {__version__} — Gurita (ICDCS 2019) reproduction")
+    print(f"schedulers: {', '.join(available_schedulers())}")
+    for k in (4, 8, 48):
+        topo = FatTreeTopology(k=k)
+        print(
+            f"fattree k={k}: {topo.num_hosts} hosts, "
+            f"{topo.num_switches} switches, {topo.num_links} directed links"
+        )
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        name="cli",
+        structure=args.structure,
+        num_jobs=args.jobs,
+        arrival_mode=args.arrival,
+        seed=args.seed,
+        offered_load=args.load,
+        fattree_k=args.fattree_k,
+    )
+    schedulers = tuple(name.strip() for name in args.schedulers.split(","))
+    outcome = run_scenario(config, schedulers=schedulers)
+    print(format_jct_table(outcome.average_jcts()))
+    if "gurita" in outcome.results and len(outcome.results) > 1:
+        print()
+        print(format_improvement_row("vs gurita", outcome.improvements_over()))
+        print()
+        print(
+            format_category_table(
+                outcome.category_improvements_over(),
+                title="per-category improvement of gurita:",
+            )
+        )
+    if args.out:
+        path = save_json(comparison_to_dict(outcome.results), args.out)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "fig5":
+        configs = figure5_configs(num_jobs=args.jobs or 40)
+    elif args.name == "fig6":
+        configs = [figure6_config(args.structure, num_jobs=args.jobs or 70)]
+    elif args.name == "fig7":
+        configs = [figure7_config(args.structure, num_jobs=args.jobs or 60)]
+    else:
+        configs = [figure8_config(args.structure, num_jobs=args.jobs or 70)]
+    records = {}
+    for config in configs:
+        outcome = run_scenario(config)
+        records[config.name] = comparison_to_dict(outcome.results)
+        reference = "gurita" if "gurita" in outcome.results else None
+        print(f"== {config.name}")
+        print(format_jct_table(outcome.average_jcts()))
+        if reference and len(outcome.results) > 1:
+            print(
+                format_category_table(
+                    outcome.category_improvements_over(reference),
+                    title=f"per-category improvement of {reference}:",
+                )
+            )
+        print()
+    if args.out:
+        path = save_json(records, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.stats:
+        _machines, trace = parse_trace(args.stats)
+        print(format_trace_stats(trace_stats(trace)))
+        return 0
+    if args.synthesize:
+        trace = synthesize_trace(
+            args.synthesize, num_machines=args.machines, seed=args.seed
+        )
+        print(format_trace_stats(trace_stats(trace)))
+        if args.out:
+            write_trace(args.out, trace, num_machines=args.machines)
+            print(f"wrote {args.out}")
+        return 0
+    print("trace: pass --synthesize N or --stats PATH", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return cmd_info()
+    if args.command == "scenario":
+        return cmd_scenario(args)
+    if args.command == "figure":
+        return cmd_figure(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

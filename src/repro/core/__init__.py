@@ -1,0 +1,62 @@
+"""Gurita: the paper's multi-stage coflow scheduler and its oracle variant."""
+
+from repro.core.blocking import (
+    beta,
+    psi_from_observation,
+    blocking_effect,
+    coflow_psi_clairvoyant,
+    coflow_psi_estimated,
+    gamma_clairvoyant,
+    gamma_estimated,
+    job_stage_psi,
+)
+from repro.core.config import GuritaConfig
+from repro.core.critical_path import (
+    AvaCriticalPathEstimator,
+    clairvoyant_critical_set,
+)
+from repro.core.flowtable import (
+    CoflowStats,
+    FlowTable,
+    FlowRecord,
+    five_tuple_for_flow,
+    hash_five_tuple,
+    jenkins_one_at_a_time,
+)
+from repro.core.receiver import (
+    CoflowObservation,
+    ObservationPlane,
+    ReceiverAgent,
+    ReceiverReport,
+)
+from repro.core.gurita import GuritaScheduler
+from repro.core.gurita_plus import GuritaPlusScheduler
+from repro.core.head_receiver import CoflowDecision, HeadReceiver
+
+__all__ = [
+    "AvaCriticalPathEstimator",
+    "CoflowDecision",
+    "CoflowObservation",
+    "CoflowStats",
+    "FlowRecord",
+    "FlowTable",
+    "GuritaConfig",
+    "GuritaPlusScheduler",
+    "GuritaScheduler",
+    "HeadReceiver",
+    "ObservationPlane",
+    "ReceiverAgent",
+    "ReceiverReport",
+    "beta",
+    "blocking_effect",
+    "clairvoyant_critical_set",
+    "coflow_psi_clairvoyant",
+    "coflow_psi_estimated",
+    "five_tuple_for_flow",
+    "hash_five_tuple",
+    "jenkins_one_at_a_time",
+    "gamma_clairvoyant",
+    "gamma_estimated",
+    "job_stage_psi",
+    "psi_from_observation",
+]

@@ -1,0 +1,75 @@
+"""Configuration for the Gurita scheduler family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.schedulers.thresholds import ExponentialThresholds
+from repro.simulator.bandwidth.request import DEFAULT_NUM_CLASSES
+
+
+@dataclass
+class GuritaConfig:
+    """Tunables of Gurita (defaults follow the paper's evaluation §V).
+
+    Attributes
+    ----------
+    num_classes:
+        Priority queues used (the paper evaluates with 4; switches offer 8).
+    psi_first, psi_base:
+        Exponentially spaced demotion thresholds over the blocking effect
+        Ψ.  Ψ has byte-like scale (width × largest flow × factors ≤ 1), so
+        the defaults start near Aalo's 10 MB boundary.
+    update_interval:
+        δ — seconds between head-receiver coordination rounds.
+    beta_floor:
+        β when all flows of a coflow are equal-sized (paper's 0.1).
+    critical_path_bonus:
+        λ — relative discount on Ψ for coflows judged to be on a critical
+        path (rule 4); 0 disables the rule.
+    critical_path_marks:
+        AVA bound on coflows flagged critical per job (< 5, the average
+        number of stages in production jobs).
+    starvation_mitigation:
+        When True (default) enforce priorities with WRR-emulated SPQ;
+        when False use raw SPQ (the ablation of §IV.B's mitigation).
+    wrr_utilization, wrr_weight_mode:
+        Parameters of the WRR emulation (see bandwidth.wrr).
+    use_flow_tables:
+        When True, Ψ̈ estimates flow through the deployment-shaped
+        observation plane (per-receiver Jenkins-hash flow tables merged by
+        the head receiver, :mod:`repro.core.receiver`) instead of being
+        read directly off coflow state.  The two paths are numerically
+        equivalent; the plane costs extra bookkeeping and exists for
+        architectural fidelity and per-receiver instrumentation.
+    """
+
+    num_classes: int = DEFAULT_NUM_CLASSES
+    psi_first: float = 10e6
+    psi_base: float = 10.0
+    update_interval: float = 8e-3
+    beta_floor: float = 0.1
+    critical_path_bonus: float = 0.1
+    critical_path_marks: int = 5
+    starvation_mitigation: bool = True
+    wrr_utilization: float = 0.9
+    wrr_weight_mode: str = "inverse_wait"
+    use_flow_tables: bool = False
+
+    thresholds: ExponentialThresholds = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.critical_path_bonus < 1.0:
+            raise SchedulerError(
+                f"critical_path_bonus must be in [0, 1), got {self.critical_path_bonus}"
+            )
+        if not 0.0 < self.beta_floor <= 1.0:
+            raise SchedulerError(
+                f"beta_floor must be in (0, 1], got {self.beta_floor}"
+            )
+        if self.update_interval <= 0:
+            raise SchedulerError("update_interval must be positive")
+        self.thresholds = ExponentialThresholds(
+            self.num_classes, first=self.psi_first, base=self.psi_base
+        )

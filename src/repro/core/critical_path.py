@@ -1,0 +1,78 @@
+"""Critical-path identification — Gurita's rule 4.
+
+Clairvoyantly, the critical path of a job is the longest leaf-to-root path
+of its coflow DAG under CCT ≈ ``l_max / rate`` (reusing
+:func:`repro.jobs.paths.critical_path_coflows`).
+
+Online, job structure is unknown, so Gurita uses the Average Value
+Approximation (AVA): it keeps the running mean of the largest observed
+flow size per coflow and flags a coflow as *possibly on a critical path*
+when its own largest observed flow reaches that mean — critical paths
+usually run through coflows with high CCT.  The number of flagged coflows
+per job is bounded (the paper bounds it below the production average of 5
+stages per job).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.jobs.job import Job
+from repro.jobs.paths import critical_path_coflows
+
+
+class AvaCriticalPathEstimator:
+    """Online critical-path guesser via Average Value Approximation."""
+
+    def __init__(self, max_marks_per_job: int = 5) -> None:
+        if max_marks_per_job < 1:
+            raise ValueError("max_marks_per_job must be >= 1")
+        self.max_marks_per_job = max_marks_per_job
+        self._sum = 0.0
+        self._count = 0
+        self._marks: Dict[int, Set[int]] = {}
+
+    @property
+    def average(self) -> float:
+        """Running mean of observed per-coflow largest flow sizes."""
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def observe(self, observed_max_flow_bytes: float) -> None:
+        """Feed one coflow's largest observed flow size into the average."""
+        if observed_max_flow_bytes <= 0:
+            return
+        self._sum += observed_max_flow_bytes
+        self._count += 1
+
+    def is_critical(
+        self,
+        job_id: int,
+        coflow_id: int,
+        observed_max_flow_bytes: float,
+    ) -> bool:
+        """Flag the coflow if its largest flow reaches the AVA mean.
+
+        Flags are sticky per (job, coflow) and capped per job, mirroring
+        the bound on coflows per critical path.
+        """
+        marks = self._marks.setdefault(job_id, set())
+        if coflow_id in marks:
+            return True
+        if self._count == 0 or observed_max_flow_bytes < self.average:
+            return False
+        if len(marks) >= self.max_marks_per_job:
+            return False
+        marks.add(coflow_id)
+        return True
+
+    def forget_job(self, job_id: int) -> None:
+        """Drop per-job state once the job completes."""
+        self._marks.pop(job_id, None)
+
+
+def clairvoyant_critical_set(job: Job, processing_rate: float = 1.0) -> Set[int]:
+    """Coflow ids on the job's true critical path (GuritaPlus's rule 4)."""
+    path, _cost = critical_path_coflows(job, processing_rate=processing_rate)
+    return set(path)

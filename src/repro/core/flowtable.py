@@ -1,0 +1,202 @@
+"""Receiver-side flow table keyed by Jenkins-hashed 5-tuples (paper §IV.B).
+
+"Gurita employs a flow hash table (e.g. Jenkins hash) to keep track of
+flow information at the receiver's end using 5 tuples (src IP, dest IP,
+src port, dest port, and protocol) ... Gurita then updates and stores flow
+information (coflow ID, flow ID, byte received counts, number of open
+connections, etc.) into a flow table."
+
+The simulator identifies flows by integer id, but the deployment-shaped
+data structure is implemented faithfully: a fixed-bucket hash table over
+5-tuples using Bob Jenkins' one-at-a-time hash, with per-coflow rollups
+(open connections, bytes received, largest/mean per-flow bytes) — exactly
+the quantities the head receiver's Ψ̈ estimate consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: (src ip, dst ip, src port, dst port, protocol) — all as integers.
+FiveTuple = Tuple[int, int, int, int, int]
+
+#: IANA protocol number for TCP, the datacenter default.
+PROTO_TCP = 6
+
+
+def jenkins_one_at_a_time(data: bytes) -> int:
+    """Bob Jenkins' one-at-a-time hash (32-bit)."""
+    value = 0
+    for byte in data:
+        value = (value + byte) & 0xFFFFFFFF
+        value = (value + (value << 10)) & 0xFFFFFFFF
+        value ^= value >> 6
+    value = (value + (value << 3)) & 0xFFFFFFFF
+    value ^= value >> 11
+    value = (value + (value << 15)) & 0xFFFFFFFF
+    return value
+
+
+def hash_five_tuple(five_tuple: FiveTuple) -> int:
+    """Jenkins hash of a packed 5-tuple."""
+    src_ip, dst_ip, src_port, dst_port, protocol = five_tuple
+    packed = (
+        src_ip.to_bytes(4, "big")
+        + dst_ip.to_bytes(4, "big")
+        + src_port.to_bytes(2, "big")
+        + dst_port.to_bytes(2, "big")
+        + protocol.to_bytes(1, "big")
+    )
+    return jenkins_one_at_a_time(packed)
+
+
+@dataclass
+class FlowRecord:
+    """Per-flow state a receiver tracks."""
+
+    five_tuple: FiveTuple
+    flow_id: int
+    coflow_id: int
+    bytes_received: float = 0.0
+    open: bool = True
+
+
+@dataclass
+class CoflowStats:
+    """Rollup over a coflow's flows, as seen by one receiver."""
+
+    coflow_id: int
+    open_connections: int = 0
+    bytes_received: float = 0.0
+    max_flow_bytes: float = 0.0
+    num_flows: int = 0
+
+    @property
+    def mean_flow_bytes(self) -> float:
+        if self.num_flows == 0:
+            return 0.0
+        return self.bytes_received / self.num_flows
+
+
+class FlowTable:
+    """Fixed-bucket hash table of flow records with coflow rollups.
+
+    Collisions chain within a bucket (separate chaining), as a kernel
+    shim's table would; ``num_buckets`` trades memory for chain length.
+    """
+
+    def __init__(self, num_buckets: int = 1024) -> None:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self.num_buckets = num_buckets
+        self._buckets: List[List[FlowRecord]] = [[] for _ in range(num_buckets)]
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def _bucket_of(self, five_tuple: FiveTuple) -> List[FlowRecord]:
+        return self._buckets[hash_five_tuple(five_tuple) % self.num_buckets]
+
+    def insert(
+        self, five_tuple: FiveTuple, flow_id: int, coflow_id: int
+    ) -> FlowRecord:
+        """Register a new connection; replaces a stale same-tuple entry."""
+        bucket = self._bucket_of(five_tuple)
+        for index, record in enumerate(bucket):
+            if record.five_tuple == five_tuple:
+                bucket[index] = FlowRecord(five_tuple, flow_id, coflow_id)
+                return bucket[index]
+        record = FlowRecord(five_tuple, flow_id, coflow_id)
+        bucket.append(record)
+        self._size += 1
+        return record
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[FlowRecord]:
+        for record in self._bucket_of(five_tuple):
+            if record.five_tuple == five_tuple:
+                return record
+        return None
+
+    def account_bytes(self, five_tuple: FiveTuple, num_bytes: float) -> bool:
+        """Credit received bytes to a flow; False if unknown."""
+        record = self.lookup(five_tuple)
+        if record is None or not record.open:
+            return False
+        record.bytes_received += num_bytes
+        return True
+
+    def close(self, five_tuple: FiveTuple) -> bool:
+        """Mark a connection closed (sender finished); False if unknown."""
+        record = self.lookup(five_tuple)
+        if record is None or not record.open:
+            return False
+        record.open = False
+        return True
+
+    def evict_closed(self, coflow_id: Optional[int] = None) -> int:
+        """Drop closed records (optionally only one coflow's); returns count.
+
+        The HR "excludes information of completed flows from being
+        considered" — eviction is how a receiver forgets them.
+        """
+        evicted = 0
+        for bucket in self._buckets:
+            keep = []
+            for record in bucket:
+                stale = not record.open and (
+                    coflow_id is None or record.coflow_id == coflow_id
+                )
+                if stale:
+                    evicted += 1
+                else:
+                    keep.append(record)
+            bucket[:] = keep
+        self._size -= evicted
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Rollups for the head receiver
+    # ------------------------------------------------------------------
+    def coflow_stats(self) -> Dict[int, CoflowStats]:
+        """Per-coflow rollups over the *open* records."""
+        stats: Dict[int, CoflowStats] = {}
+        for record in self:
+            entry = stats.setdefault(
+                record.coflow_id, CoflowStats(coflow_id=record.coflow_id)
+            )
+            entry.num_flows += 1
+            entry.bytes_received += record.bytes_received
+            entry.max_flow_bytes = max(entry.max_flow_bytes, record.bytes_received)
+            if record.open:
+                entry.open_connections += 1
+        return stats
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._size
+
+    def load_factor(self) -> float:
+        return self._size / self.num_buckets
+
+    def max_chain_length(self) -> int:
+        return max((len(bucket) for bucket in self._buckets), default=0)
+
+
+def five_tuple_for_flow(flow_id: int, src: int, dst: int) -> FiveTuple:
+    """Deterministic synthetic 5-tuple for a simulated flow.
+
+    Hosts become 10.0.0.0/8 addresses; the source (ephemeral) port is
+    derived from the flow id, the destination port is a fixed shuffle
+    service port.
+    """
+    base = 10 << 24  # 10.0.0.0
+    src_ip = base + src
+    dst_ip = base + dst
+    src_port = 32768 + (flow_id % 28232)
+    dst_port = 7077  # shuffle service
+    return (src_ip, dst_ip, src_port, dst_port, PROTO_TCP)

@@ -1,0 +1,155 @@
+"""Gurita — Least Blocking Effect First scheduling of multi-stage jobs.
+
+This is the practical scheduler of paper §IV.B ("from concept to
+practice"): no central controller, no prior knowledge of job structure or
+flow sizes.  Per job, a head receiver aggregates receiver-side observations
+every δ seconds and demotes coflows through exponentially spaced priority
+thresholds according to the *estimated per-stage blocking effect* Ψ̈_J(s)
+(Algorithm 1, LBEF).
+
+Priority-change semantics follow the paper's TCP-reordering rule:
+
+* a **newly released flow** starts at the highest priority (job information
+  is unknown a priori) unless its job was already demoted, in which case it
+  inherits the job's current class;
+* a **demotion** (new class worse than old) applies immediately to all
+  existing flows of the coflow;
+* a **promotion** (new class better) applies only to flows released later —
+  in-flight flows keep transmitting at their old priority, so packets never
+  overtake within a flow.
+
+Enforcement uses WRR-emulated SPQ by default (starvation mitigation);
+see :mod:`repro.core.starvation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import GuritaConfig
+from repro.core.critical_path import AvaCriticalPathEstimator
+from repro.core.head_receiver import HeadReceiver
+from repro.core.receiver import ObservationPlane
+from repro.core.starvation import build_request
+from repro.jobs.coflow import Coflow, CoflowState
+from repro.jobs.flow import Flow
+from repro.jobs.job import Job
+from repro.schedulers.base import SchedulerPolicy
+from repro.simulator.bandwidth.request import AllocationRequest
+
+
+class GuritaScheduler(SchedulerPolicy):
+    """The paper's contribution: decentralized LBEF over estimated Ψ̈."""
+
+    name = "gurita"
+
+    def __init__(self, config: GuritaConfig = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else GuritaConfig()
+        self.update_interval = self.config.update_interval
+        self._estimator = AvaCriticalPathEstimator(
+            max_marks_per_job=self.config.critical_path_marks
+        )
+        #: deployment-shaped per-receiver flow tables (optional path)
+        self._plane = ObservationPlane() if self.config.use_flow_tables else None
+        self._head_receivers: Dict[int, HeadReceiver] = {}
+        #: class newly released flows of a coflow will receive
+        self._coflow_class: Dict[int, int] = {}
+        #: latest decided class per job (worst across its running stages)
+        self._job_class: Dict[int, int] = {}
+        #: sticky per-flow class (set at release, demoted by updates)
+        self._flow_class: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_job_arrival(self, job: Job, now: float) -> None:
+        self._head_receivers[job.job_id] = HeadReceiver(job, self.config)
+        self._job_class[job.job_id] = 0
+
+    def on_coflow_release(self, coflow: Coflow, now: float) -> None:
+        # "Newly-arriving flows of a coflow are automatically assigned the
+        # highest priority and are allowed to transmit at that priority
+        # until a threshold is exceeded or an update is received from HR"
+        # (paper §IV.B).  This is what makes Gurita stage-sensitive: a big
+        # job entering a light stage regains the top queue, and the next
+        # δ-round demotes the stage only if its own blocking effect
+        # warrants it.
+        self._coflow_class[coflow.coflow_id] = 0
+        for flow in coflow.flows:
+            self._flow_class[flow.flow_id] = 0
+        if self._plane is not None:
+            self._plane.on_coflow_release(coflow)
+
+    def on_flow_finish(self, flow: Flow, now: float) -> None:
+        self._flow_class.pop(flow.flow_id, None)
+        if self._plane is not None:
+            self._plane.on_flow_finish(flow)
+
+    def on_coflow_finish(self, coflow: Coflow, now: float) -> None:
+        self._coflow_class.pop(coflow.coflow_id, None)
+        if self._plane is not None:
+            self._plane.on_coflow_finish(coflow)
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        # HR excludes completed jobs from all further rounds.
+        self._head_receivers.pop(job.job_id, None)
+        self._job_class.pop(job.job_id, None)
+        self._estimator.forget_job(job.job_id)
+
+    # ------------------------------------------------------------------
+    # The δ-spaced coordination round
+    # ------------------------------------------------------------------
+    def on_update(self, now: float) -> bool:
+        assert self.context is not None
+        changed = False
+        for job_id, head_receiver in self._head_receivers.items():
+            observations = None
+            if self._plane is not None:
+                running = [
+                    coflow
+                    for coflow in head_receiver.job.coflows
+                    if coflow.state is CoflowState.RUNNING
+                ]
+                self._plane.sync_bytes(
+                    flow for coflow in running for flow in coflow.flows
+                )
+                observations = self._plane.observe_coflows(
+                    coflow.coflow_id for coflow in running
+                )
+            decisions = head_receiver.decide(self._estimator, observations)
+            if not decisions:
+                continue
+            self._job_class[job_id] = max(d.priority_class for d in decisions)
+            for decision in decisions:
+                changed = (
+                    self._apply_decision(decision.coflow_id, decision.priority_class)
+                    or changed
+                )
+        return changed
+
+    def _apply_decision(self, coflow_id: int, new_class: int) -> bool:
+        """Demotions hit existing flows; promotions only future ones.
+
+        Returns True if any in-flight flow's priority actually changed.
+        """
+        assert self.context is not None
+        old_class = self._coflow_class.get(coflow_id, 0)
+        self._coflow_class[coflow_id] = new_class
+        changed = False
+        if new_class > old_class:
+            for flow in self.context.coflow(coflow_id).flows:
+                if flow.is_active and self._flow_class.get(flow.flow_id, 0) < new_class:
+                    self._flow_class[flow.flow_id] = new_class
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        priorities = {
+            flow.flow_id: self._flow_class.get(flow.flow_id, 0)
+            for flow in active_flows
+        }
+        return build_request(self.config, priorities)

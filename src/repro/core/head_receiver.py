@@ -1,0 +1,131 @@
+"""Head-receiver (HR) coordination — Gurita's decentralized control plane.
+
+Every job designates its first-invoked receiver as *head receiver*.  Peer
+receivers report locally observable state (open connections, bytes received
+per flow) every δ seconds; the HR folds the reports into per-coflow
+blocking-effect estimates Ψ̈ (eq. 3), sums them into the per-stage job
+effect Ψ̈_J(s), and maps that onto a priority class via the exponentially
+spaced demotion thresholds.  The decision travels back to receivers, which
+signal senders through the TCP ACK reserved field; senders stamp DSCP bits.
+
+In the simulator all of that collapses into :meth:`HeadReceiver.decide`,
+invoked by the Gurita policy at each δ-spaced update event — the *timing*
+(information lag of up to δ) is what is faithfully modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.blocking import (
+    coflow_psi_estimated,
+    job_stage_psi,
+    psi_from_observation,
+)
+from repro.core.config import GuritaConfig
+from repro.core.critical_path import AvaCriticalPathEstimator
+from repro.core.receiver import CoflowObservation
+from repro.jobs.coflow import Coflow
+from repro.jobs.job import Job
+
+
+@dataclass
+class CoflowDecision:
+    """One coordination round's verdict for a running coflow."""
+
+    coflow_id: int
+    stage: int
+    psi: float  #: estimated coflow blocking effect Ψ̈ (after rule-4 bonus)
+    stage_psi: float  #: job per-stage blocking effect Ψ̈_J(s)
+    priority_class: int  #: demotion-threshold class of Ψ̈_J(s)
+    on_critical_path: bool
+
+
+class HeadReceiver:
+    """Aggregates receiver observations for one job and decides priorities."""
+
+    def __init__(self, job: Job, config: GuritaConfig) -> None:
+        self.job = job
+        self.config = config
+
+    def decide(
+        self,
+        estimator: AvaCriticalPathEstimator,
+        observations: Optional[Mapping[int, CoflowObservation]] = None,
+    ) -> List[CoflowDecision]:
+        """Run one coordination round over the job's running coflows.
+
+        Completed flows are excluded automatically (the HR removes finished
+        receivers' flows from consideration) because Ψ̈ is computed from
+        *running* coflows only.  With ``observations`` supplied (the merged
+        per-receiver flow-table reports of the observation plane), Ψ̈ is
+        computed from those; otherwise from the coflows' own observable
+        counters — the two are numerically equivalent.
+        """
+        running = self.job.running_coflows()
+        if not running:
+            return []
+
+        psis: Dict[int, float] = {}
+        critical: Dict[int, bool] = {}
+        for coflow in running:
+            observation = (
+                observations.get(coflow.coflow_id)
+                if observations is not None
+                else None
+            )
+            if observation is not None:
+                psi = psi_from_observation(
+                    observation.open_connections,
+                    observation.max_flow_bytes,
+                    observation.mean_flow_bytes,
+                    completed_stages=coflow.stage - 1,
+                    beta_floor=self.config.beta_floor,
+                )
+                observed_max = observation.max_flow_bytes
+            else:
+                psi = coflow_psi_estimated(
+                    coflow,
+                    completed_stages=coflow.stage - 1,
+                    beta_floor=self.config.beta_floor,
+                )
+                observed_max = coflow.observed_max_flow_bytes
+            estimator.observe(observed_max)
+            flagged = False
+            if self.config.critical_path_bonus > 0:
+                flagged = estimator.is_critical(
+                    self.job.job_id,
+                    coflow.coflow_id,
+                    observed_max,
+                )
+                if flagged:
+                    # Rule 4: a marginal discount so critical-path coflows
+                    # edge ahead of peers with comparable blocking effect.
+                    psi *= 1.0 - self.config.critical_path_bonus
+            psis[coflow.coflow_id] = psi
+            critical[coflow.coflow_id] = flagged
+
+        stage_totals: Dict[int, float] = {}
+        by_stage: Dict[int, List[Coflow]] = {}
+        for coflow in running:
+            by_stage.setdefault(coflow.stage, []).append(coflow)
+        for stage, coflows in by_stage.items():
+            stage_totals[stage] = job_stage_psi(
+                psis[c.coflow_id] for c in coflows
+            )
+
+        decisions: List[CoflowDecision] = []
+        for coflow in running:
+            stage_psi = stage_totals[coflow.stage]
+            decisions.append(
+                CoflowDecision(
+                    coflow_id=coflow.coflow_id,
+                    stage=coflow.stage,
+                    psi=psis[coflow.coflow_id],
+                    stage_psi=stage_psi,
+                    priority_class=self.config.thresholds.class_of(stage_psi),
+                    on_critical_path=critical[coflow.coflow_id],
+                )
+            )
+        return decisions

@@ -1,0 +1,37 @@
+"""Starvation mitigation: choosing the enforcement mode for Gurita.
+
+SPQ starves low-priority traffic (paper §IV.B).  Gurita therefore emulates
+SPQ with WRR, deriving per-queue weights from the mean waiting time each
+queue would see under true SPQ — low-priority queues keep a trickle of
+bandwidth instead of being denied entirely.  The weight math lives in
+:mod:`repro.simulator.bandwidth.wrr`; this module only builds the
+allocation request for a given Gurita configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import GuritaConfig
+from repro.simulator.bandwidth.request import AllocationMode, AllocationRequest
+
+
+def build_request(
+    config: GuritaConfig,
+    priorities: Dict[int, int],
+) -> AllocationRequest:
+    """Allocation request enforcing ``priorities`` per the config.
+
+    WRR-emulated SPQ when starvation mitigation is on (Gurita's default);
+    raw SPQ otherwise (the ablation).
+    """
+    mode = (
+        AllocationMode.WRR if config.starvation_mitigation else AllocationMode.SPQ
+    )
+    return AllocationRequest(
+        mode=mode,
+        priorities=priorities,
+        num_classes=config.num_classes,
+        utilization=config.wrr_utilization,
+        weight_mode=config.wrr_weight_mode,
+    )

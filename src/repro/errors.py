@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidJobError(ReproError):
+    """A job, coflow, or flow definition is structurally invalid."""
+
+
+class DagCycleError(InvalidJobError):
+    """The coflow dependency graph of a job contains a cycle."""
+
+
+class TopologyError(ReproError):
+    """A network topology is invalid or a lookup into it failed."""
+
+
+class RoutingError(ReproError):
+    """No route could be computed between two hosts."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling policy was misused or misconfigured."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace file is invalid."""
+
+
+class TraceFormatError(WorkloadError):
+    """A coflow trace file does not conform to the expected format."""

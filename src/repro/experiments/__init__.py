@@ -1,0 +1,67 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 2-8)."""
+
+from repro.experiments.ablations import (
+    critical_path_variants,
+    queue_count_variants,
+    run_gurita_variant,
+    run_variants,
+    starvation_variants,
+    summarize,
+    threshold_variants,
+    update_interval_variants,
+    wrr_weight_mode_variants,
+)
+from repro.experiments.common import (
+    PAPER_SCHEDULERS,
+    ScenarioConfig,
+    ScenarioResult,
+    build_jobs,
+    run_scenario,
+)
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    sweep_burst_size,
+    sweep_num_jobs,
+    sweep_offered_load,
+)
+from repro.experiments.trials import TrialResult, TrialStats, run_trials
+from repro.experiments.figures import (
+    FIG5_SCENARIOS,
+    figure5_configs,
+    figure5_run,
+    figure6_config,
+    figure7_config,
+    figure8_config,
+)
+
+__all__ = [
+    "FIG5_SCENARIOS",
+    "PAPER_SCHEDULERS",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_jobs",
+    "critical_path_variants",
+    "figure5_configs",
+    "figure5_run",
+    "figure6_config",
+    "figure7_config",
+    "figure8_config",
+    "queue_count_variants",
+    "run_gurita_variant",
+    "run_scenario",
+    "run_variants",
+    "run_trials",
+    "TrialResult",
+    "TrialStats",
+    "starvation_variants",
+    "summarize",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_burst_size",
+    "sweep_num_jobs",
+    "sweep_offered_load",
+    "threshold_variants",
+    "update_interval_variants",
+    "wrr_weight_mode_variants",
+]

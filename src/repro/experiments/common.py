@@ -1,0 +1,114 @@
+"""Shared experiment harness: run one scenario across many schedulers.
+
+Each paper experiment (Figures 5–8) is a scenario — a (structure, arrival
+pattern, topology, load) tuple — replayed once per scheduling policy on an
+identical workload.  Jobs are rebuilt from the same seed for every policy,
+so all policies see byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.improvement import (
+    overall_improvement,
+    per_category_improvement,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import SimulationResult, simulate
+from repro.simulator.topology.fattree import FatTreeTopology
+from repro.workloads.generator import synthesize_workload
+
+#: The comparators of the paper's evaluation, plus Gurita itself.
+PAPER_SCHEDULERS: Tuple[str, ...] = ("pfs", "baraat", "stream", "aalo", "gurita")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One experiment scenario.
+
+    The defaults pick a laptop-scale rendition of the paper's 8-pod
+    FatTree experiments; the bursty large-scale scenario of Figure 7
+    raises ``fattree_k`` and ``num_jobs`` (the paper's 48 pods / 10,000
+    jobs are a flag away but take hours in pure Python).
+    """
+
+    name: str = "scenario"
+    structure: str = "fb-tao"
+    num_jobs: int = 60
+    fattree_k: int = 8
+    arrival_mode: str = "uniform"
+    seed: int = 42
+    size_scale: float = 1.0
+    max_fanin: int = 16
+    offered_load: float = 1.5
+    burst_size: int = 10
+    burst_gap: float = 1.0
+    duration: Optional[float] = None
+    schedulers: Tuple[str, ...] = PAPER_SCHEDULERS
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ScenarioResult:
+    """All policies' results on one scenario's workload."""
+
+    config: ScenarioConfig
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def average_jcts(self) -> Dict[str, float]:
+        return {name: r.average_jct() for name, r in self.results.items()}
+
+    def improvements_over(self, reference: str = "gurita") -> Dict[str, float]:
+        """Improvement factor of ``reference`` over every other policy."""
+        ref = self.results[reference]
+        return {
+            name: overall_improvement(result, ref)
+            for name, result in self.results.items()
+            if name != reference
+        }
+
+    def category_improvements_over(
+        self, reference: str = "gurita"
+    ) -> Dict[str, Dict[int, float]]:
+        """Per-category improvement of ``reference`` over each policy."""
+        ref = self.results[reference]
+        return {
+            name: per_category_improvement(result, ref)
+            for name, result in self.results.items()
+            if name != reference
+        }
+
+
+def build_jobs(config: ScenarioConfig, num_hosts: int):
+    """The scenario's workload (deterministic in the config's seed)."""
+    return synthesize_workload(
+        num_jobs=config.num_jobs,
+        num_hosts=num_hosts,
+        structure=config.structure,
+        seed=config.seed,
+        arrival_mode=config.arrival_mode,
+        duration=config.duration,
+        offered_load=config.offered_load,
+        burst_size=config.burst_size,
+        burst_gap=config.burst_gap,
+        size_scale=config.size_scale,
+        max_fanin=config.max_fanin,
+    )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    schedulers: Optional[Sequence[str]] = None,
+) -> ScenarioResult:
+    """Replay the scenario once per scheduler on identical workloads."""
+    names: List[str] = list(schedulers if schedulers is not None else config.schedulers)
+    outcome = ScenarioResult(config=config)
+    for name in names:
+        topology = FatTreeTopology(k=config.fattree_k)
+        jobs = build_jobs(config, topology.num_hosts)
+        outcome.results[name] = simulate(topology, make_scheduler(name), jobs)
+    return outcome

@@ -1,0 +1,111 @@
+"""Parameter sweeps: how comparisons move as one knob turns.
+
+The paper reports point comparisons; sweeps show *where crossovers fall*
+— e.g. the offered load at which priority scheduling starts paying off
+over fair sharing, or how the Gurita-vs-Aalo gap moves with burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+
+
+@dataclass
+class SweepPoint:
+    """One knob value and the per-policy average JCTs measured there."""
+
+    value: float
+    average_jcts: Dict[str, float]
+
+    def improvement(self, baseline: str, reference: str = "gurita") -> float:
+        return self.average_jcts[baseline] / self.average_jcts[reference]
+
+
+@dataclass
+class SweepResult:
+    """A labelled series of sweep points."""
+
+    knob: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, scheduler: str) -> List[float]:
+        """The scheduler's average JCT at each knob value."""
+        return [point.average_jcts[scheduler] for point in self.points]
+
+    def improvement_series(
+        self, baseline: str, reference: str = "gurita"
+    ) -> List[float]:
+        return [point.improvement(baseline, reference) for point in self.points]
+
+    def crossover(
+        self, baseline: str, reference: str = "gurita"
+    ) -> float:
+        """First knob value where the reference beats the baseline.
+
+        Returns ``inf`` if it never does within the sweep.
+        """
+        for point in self.points:
+            if point.improvement(baseline, reference) > 1.0:
+                return point.value
+        return float("inf")
+
+
+def sweep_offered_load(
+    loads: Sequence[float],
+    base: ScenarioConfig = None,
+    schedulers: Sequence[str] = ("pfs", "gurita"),
+) -> SweepResult:
+    """Sweep the offered-load calibration of the arrival span."""
+    base = base if base is not None else ScenarioConfig(num_jobs=30)
+    result = SweepResult(knob="offered_load")
+    for load in loads:
+        outcome = run_scenario(
+            base.with_overrides(offered_load=load), schedulers=schedulers
+        )
+        result.points.append(
+            SweepPoint(value=load, average_jcts=outcome.average_jcts())
+        )
+    return result
+
+
+def sweep_burst_size(
+    burst_sizes: Sequence[int],
+    base: ScenarioConfig = None,
+    schedulers: Sequence[str] = ("pfs", "gurita"),
+) -> SweepResult:
+    """Sweep burst size under bursty arrivals (burstiness knob)."""
+    base = (
+        base
+        if base is not None
+        else ScenarioConfig(num_jobs=30, arrival_mode="bursty")
+    )
+    result = SweepResult(knob="burst_size")
+    for burst_size in burst_sizes:
+        outcome = run_scenario(
+            base.with_overrides(burst_size=burst_size), schedulers=schedulers
+        )
+        result.points.append(
+            SweepPoint(value=float(burst_size), average_jcts=outcome.average_jcts())
+        )
+    return result
+
+
+def sweep_num_jobs(
+    job_counts: Sequence[int],
+    base: ScenarioConfig = None,
+    schedulers: Sequence[str] = ("pfs", "gurita"),
+) -> SweepResult:
+    """Sweep workload size at constant offered load (scale knob)."""
+    base = base if base is not None else ScenarioConfig()
+    result = SweepResult(knob="num_jobs")
+    for count in job_counts:
+        outcome = run_scenario(
+            base.with_overrides(num_jobs=count), schedulers=schedulers
+        )
+        result.points.append(
+            SweepPoint(value=float(count), average_jcts=outcome.average_jcts())
+        )
+    return result

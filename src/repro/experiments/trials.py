@@ -1,0 +1,83 @@
+"""Multi-seed trials: mean and spread of improvement factors.
+
+A single seed is one draw of the synthetic trace; the paper's factors are
+averages over a real hour of traffic.  The trial runner replays a scenario
+over several seeds and reports mean ± standard deviation of each
+comparison, so a bench can distinguish a robust win from seed noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean and sample standard deviation of one comparison across seeds."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "TrialStats":
+        if not values:
+            raise ValueError("no samples")
+        n = len(values)
+        mean = sum(values) / n
+        if n < 2:
+            return TrialStats(mean=mean, std=0.0, samples=n)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return TrialStats(mean=mean, std=math.sqrt(variance), samples=n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f} (n={self.samples})"
+
+
+@dataclass
+class TrialResult:
+    """Per-seed scenario outcomes plus aggregated improvement factors."""
+
+    config: ScenarioConfig
+    outcomes: List[ScenarioResult]
+
+    def improvement_stats(
+        self, reference: str = "gurita"
+    ) -> Dict[str, TrialStats]:
+        """Mean ± std of each comparator's improvement factor."""
+        per_scheduler: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            for name, factor in outcome.improvements_over(reference).items():
+                per_scheduler.setdefault(name, []).append(factor)
+        return {
+            name: TrialStats.from_values(values)
+            for name, values in per_scheduler.items()
+        }
+
+    def average_jct_stats(self) -> Dict[str, TrialStats]:
+        """Mean ± std of each policy's average JCT across seeds."""
+        per_scheduler: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            for name, jct in outcome.average_jcts().items():
+                per_scheduler.setdefault(name, []).append(jct)
+        return {
+            name: TrialStats.from_values(values)
+            for name, values in per_scheduler.items()
+        }
+
+
+def run_trials(
+    config: ScenarioConfig,
+    seeds: Sequence[int] = (1, 2, 3),
+    schedulers: Sequence[str] = None,
+) -> TrialResult:
+    """Replay the scenario once per seed (workloads differ, policies fixed)."""
+    outcomes = [
+        run_scenario(config.with_overrides(seed=seed), schedulers=schedulers)
+        for seed in seeds
+    ]
+    return TrialResult(config=config, outcomes=outcomes)

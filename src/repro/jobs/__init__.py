@@ -1,0 +1,41 @@
+"""Job, coflow, flow, and DAG data model for multi-stage datacenter jobs."""
+
+from repro.jobs.builder import (
+    FlowSpec,
+    IdAllocator,
+    JobBuilder,
+    chain_job,
+    single_stage_job,
+)
+from repro.jobs.coflow import Coflow, CoflowState
+from repro.jobs.dag import CoflowDag
+from repro.jobs.flow import Flow, FlowState
+from repro.jobs.job import Job, JobState
+from repro.jobs.validate import ValidationReport, validate_workload
+from repro.jobs.paths import (
+    critical_path,
+    critical_path_coflows,
+    enumerate_paths,
+    path_cost,
+)
+
+__all__ = [
+    "Coflow",
+    "CoflowDag",
+    "CoflowState",
+    "Flow",
+    "FlowSpec",
+    "FlowState",
+    "IdAllocator",
+    "Job",
+    "JobBuilder",
+    "JobState",
+    "ValidationReport",
+    "chain_job",
+    "critical_path",
+    "critical_path_coflows",
+    "enumerate_paths",
+    "path_cost",
+    "single_stage_job",
+    "validate_workload",
+]

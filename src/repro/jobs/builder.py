@@ -1,0 +1,130 @@
+"""Fluent construction of jobs, coflows, and flows with consistent ids.
+
+The builder allocates globally unique flow/coflow ids from shared counters
+so that jobs built for one simulation never collide.  Typical use::
+
+    ids = IdAllocator()
+    builder = JobBuilder(job_id=0, arrival_time=0.0, ids=ids)
+    a = builder.add_coflow([(src, dst, size), ...])
+    b = builder.add_coflow([(src, dst, size)], depends_on=[a])
+    job = builder.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidJobError
+from repro.jobs.coflow import Coflow
+from repro.jobs.dag import CoflowDag
+from repro.jobs.flow import Flow
+from repro.jobs.job import Job
+
+#: A flow specification: (src_host, dst_host, size_bytes).
+FlowSpec = Tuple[int, int, float]
+
+
+@dataclass
+class IdAllocator:
+    """Shared counters handing out unique job/coflow/flow ids."""
+
+    _jobs: "itertools.count[int]" = field(default_factory=itertools.count)
+    _coflows: "itertools.count[int]" = field(default_factory=itertools.count)
+    _flows: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def next_job_id(self) -> int:
+        return next(self._jobs)
+
+    def next_coflow_id(self) -> int:
+        return next(self._coflows)
+
+    def next_flow_id(self) -> int:
+        return next(self._flows)
+
+
+class JobBuilder:
+    """Accumulates coflows and dependencies, then builds a validated Job."""
+
+    def __init__(
+        self,
+        job_id: Optional[int] = None,
+        arrival_time: float = 0.0,
+        ids: Optional[IdAllocator] = None,
+    ) -> None:
+        self._ids = ids if ids is not None else IdAllocator()
+        self.job_id = job_id if job_id is not None else self._ids.next_job_id()
+        self.arrival_time = arrival_time
+        self._coflows: List[Coflow] = []
+        self._edges: List[Tuple[int, int]] = []
+
+    def add_coflow(
+        self,
+        flow_specs: Sequence[FlowSpec],
+        depends_on: Iterable[int] = (),
+    ) -> int:
+        """Add a coflow made of ``flow_specs``; returns its coflow id.
+
+        ``depends_on`` lists coflow ids (returned by earlier calls) that
+        must complete before this coflow starts.
+        """
+        if not flow_specs:
+            raise InvalidJobError("a coflow needs at least one flow")
+        coflow_id = self._ids.next_coflow_id()
+        flows = [
+            Flow(
+                flow_id=self._ids.next_flow_id(),
+                coflow_id=coflow_id,
+                src=src,
+                dst=dst,
+                size_bytes=float(size),
+            )
+            for src, dst, size in flow_specs
+        ]
+        self._coflows.append(Coflow(coflow_id=coflow_id, job_id=self.job_id, flows=flows))
+        known = {c.coflow_id for c in self._coflows}
+        for dep in depends_on:
+            if dep not in known:
+                raise InvalidJobError(
+                    f"dependency {dep} of coflow {coflow_id} not added yet"
+                )
+            self._edges.append((dep, coflow_id))
+        return coflow_id
+
+    def build(self) -> Job:
+        """Validate and return the Job (stages computed from the DAG)."""
+        dag = CoflowDag([c.coflow_id for c in self._coflows], self._edges)
+        return Job(
+            job_id=self.job_id,
+            coflows=self._coflows,
+            dag=dag,
+            arrival_time=self.arrival_time,
+        )
+
+
+def single_stage_job(
+    flow_specs: Sequence[FlowSpec],
+    arrival_time: float = 0.0,
+    ids: Optional[IdAllocator] = None,
+    job_id: Optional[int] = None,
+) -> Job:
+    """Convenience: a job with exactly one coflow (the classic coflow case)."""
+    builder = JobBuilder(job_id=job_id, arrival_time=arrival_time, ids=ids)
+    builder.add_coflow(flow_specs)
+    return builder.build()
+
+
+def chain_job(
+    stage_specs: Sequence[Sequence[FlowSpec]],
+    arrival_time: float = 0.0,
+    ids: Optional[IdAllocator] = None,
+    job_id: Optional[int] = None,
+) -> Job:
+    """Convenience: a linear chain of coflows, one per stage."""
+    builder = JobBuilder(job_id=job_id, arrival_time=arrival_time, ids=ids)
+    previous: Optional[int] = None
+    for specs in stage_specs:
+        depends = [previous] if previous is not None else []
+        previous = builder.add_coflow(specs, depends_on=depends)
+    return builder.build()

@@ -1,0 +1,127 @@
+"""Coflow dependency DAG of a multi-stage job.
+
+The paper models a job as ``G = (V, E)`` where vertices are coflows and an
+edge ``(c_u, c_v)`` means that *c_v depends on c_u*: coflow ``c_v`` can only
+start once ``c_u`` has completed (paper §II, Figure 1).  Leaves (coflows with
+no dependencies) form stage 1; the stage of any coflow is one plus the
+deepest stage among its dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import DagCycleError, InvalidJobError
+
+
+class CoflowDag:
+    """Dependency graph over a job's coflow ids.
+
+    The graph is immutable once validated.  Edges are stored as
+    ``dependencies[v] = {u, ...}``: the coflows that must complete before
+    ``v`` may start.
+    """
+
+    def __init__(
+        self,
+        coflow_ids: Sequence[int],
+        edges: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        """Build a DAG over ``coflow_ids`` with ``edges = (u, v)`` pairs,
+        each meaning *v depends on u*.
+        """
+        self._nodes: List[int] = list(coflow_ids)
+        node_set = set(self._nodes)
+        if len(node_set) != len(self._nodes):
+            raise InvalidJobError("duplicate coflow ids in DAG")
+        self._dependencies: Dict[int, Set[int]] = {cid: set() for cid in self._nodes}
+        self._dependents: Dict[int, Set[int]] = {cid: set() for cid in self._nodes}
+        for u, v in edges:
+            if u not in node_set or v not in node_set:
+                raise InvalidJobError(f"edge ({u}, {v}) references unknown coflow")
+            if u == v:
+                raise DagCycleError(f"self-dependency on coflow {u}")
+            self._dependencies[v].add(u)
+            self._dependents[u].add(v)
+        self._order = self._topological_order()
+        self._stages = self._compute_stages()
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def coflow_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def dependencies_of(self, coflow_id: int) -> Set[int]:
+        """Coflows that must complete before ``coflow_id`` starts."""
+        return set(self._dependencies[coflow_id])
+
+    def dependents_of(self, coflow_id: int) -> Set[int]:
+        """Coflows that wait on ``coflow_id``."""
+        return set(self._dependents[coflow_id])
+
+    def leaves(self) -> List[int]:
+        """Coflows with no dependencies (stage 1; first to be processed)."""
+        return [cid for cid in self._nodes if not self._dependencies[cid]]
+
+    def roots(self) -> List[int]:
+        """Coflows nothing depends on (the job's outputs)."""
+        return [cid for cid in self._nodes if not self._dependents[cid]]
+
+    def topological_order(self) -> List[int]:
+        """Coflow ids in an order where dependencies precede dependents."""
+        return list(self._order)
+
+    def stage_of(self, coflow_id: int) -> int:
+        """1-indexed stage: leaves are 1, each dependent one deeper."""
+        return self._stages[coflow_id]
+
+    @property
+    def num_stages(self) -> int:
+        """Depth dimension: the number of computation stages in the job."""
+        return max(self._stages.values()) if self._stages else 0
+
+    def coflows_in_stage(self, stage: int) -> List[int]:
+        """All coflows at the given 1-indexed stage."""
+        return [cid for cid in self._nodes if self._stages[cid] == stage]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (u, v) edges where v depends on u."""
+        return [
+            (u, v)
+            for v, deps in self._dependencies.items()
+            for u in sorted(deps)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, coflow_id: int) -> bool:
+        return coflow_id in self._dependencies
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> List[int]:
+        indegree = {cid: len(deps) for cid, deps in self._dependencies.items()}
+        queue = deque(cid for cid in self._nodes if indegree[cid] == 0)
+        order: List[int] = []
+        while queue:
+            cid = queue.popleft()
+            order.append(cid)
+            for dep in sorted(self._dependents[cid]):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(self._nodes):
+            raise DagCycleError("coflow dependency graph contains a cycle")
+        return order
+
+    def _compute_stages(self) -> Dict[int, int]:
+        stages: Dict[int, int] = {}
+        for cid in self._order:
+            deps = self._dependencies[cid]
+            stages[cid] = 1 + max((stages[d] for d in deps), default=0)
+        return stages

@@ -1,0 +1,123 @@
+"""Flow: a single point-to-point data transfer inside a coflow.
+
+A flow carries ``size_bytes`` from a sender host to a receiver host.  The
+simulator decrements :attr:`Flow.remaining_bytes` as bandwidth is granted.
+Flows are the unit the bandwidth allocator works on; coflows and jobs are
+aggregations defined on top of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import InvalidJobError
+
+#: Volume below which a flow is considered finished (guards float round-off).
+VOLUME_EPSILON = 1e-6
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a flow inside the simulator."""
+
+    PENDING = "pending"  #: parent coflow not yet released
+    ACTIVE = "active"  #: transmitting (possibly at rate zero)
+    DONE = "done"  #: all bytes delivered
+
+
+@dataclass
+class Flow:
+    """A single sender-to-receiver transfer.
+
+    Parameters
+    ----------
+    flow_id:
+        Globally unique identifier.
+    coflow_id:
+        The coflow this flow belongs to.
+    src, dst:
+        Sender and receiver host identifiers (indices into the topology's
+        host list).
+    size_bytes:
+        Total number of bytes to transfer; must be positive.
+    """
+
+    flow_id: int
+    coflow_id: int
+    src: int
+    dst: int
+    size_bytes: float
+
+    state: FlowState = FlowState.PENDING
+    remaining_bytes: float = field(default=0.0)
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    #: Current rate in bytes/second, set by the bandwidth allocator.
+    rate: float = 0.0
+    #: Priority class currently assigned (0 = highest).  ``None`` until a
+    #: scheduler assigns one.
+    priority: Optional[int] = None
+    #: Route as a tuple of directed link ids; filled in by the router.
+    route: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise InvalidJobError(
+                f"flow {self.flow_id} must have positive size, got {self.size_bytes}"
+            )
+        if self.src == self.dst:
+            raise InvalidJobError(
+                f"flow {self.flow_id} has identical src and dst host {self.src}"
+            )
+        self.remaining_bytes = float(self.size_bytes)
+
+    @property
+    def bytes_sent(self) -> float:
+        """Bytes already delivered to the receiver."""
+        return self.size_bytes - self.remaining_bytes
+
+    @property
+    def is_done(self) -> bool:
+        return self.state is FlowState.DONE
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is FlowState.ACTIVE
+
+    def start(self, now: float) -> None:
+        """Transition PENDING -> ACTIVE at simulation time ``now``."""
+        if self.state is not FlowState.PENDING:
+            raise InvalidJobError(
+                f"flow {self.flow_id} started twice (state={self.state})"
+            )
+        self.state = FlowState.ACTIVE
+        self.start_time = now
+
+    def advance(self, elapsed: float) -> None:
+        """Consume volume for ``elapsed`` seconds at the current rate."""
+        if self.state is not FlowState.ACTIVE or elapsed <= 0.0:
+            return
+        self.remaining_bytes = max(0.0, self.remaining_bytes - self.rate * elapsed)
+
+    def finish(self, now: float) -> None:
+        """Transition ACTIVE -> DONE at simulation time ``now``."""
+        if self.state is not FlowState.ACTIVE:
+            raise InvalidJobError(
+                f"flow {self.flow_id} finished while not active (state={self.state})"
+            )
+        self.state = FlowState.DONE
+        self.remaining_bytes = 0.0
+        self.rate = 0.0
+        self.finish_time = now
+
+    @property
+    def nearly_done(self) -> bool:
+        """True when remaining volume is below the completion epsilon."""
+        return self.remaining_bytes <= VOLUME_EPSILON
+
+    def duration(self) -> Optional[float]:
+        """Completion time of this flow, or ``None`` if not finished."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time

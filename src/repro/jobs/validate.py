@@ -1,0 +1,91 @@
+"""Validation of user-supplied workloads against a topology.
+
+The builders guarantee structural consistency of a single job; this module
+checks whole workloads before simulation — host ranges, id uniqueness,
+arrival sanity — and reports *all* problems at once instead of failing on
+the first (useful when importing external traces or hand-built job sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.jobs.job import Job
+from repro.simulator.topology.base import Topology
+
+
+@dataclass
+class ValidationReport:
+    """Collected problems; empty means the workload is simulation-ready."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            from repro.errors import InvalidJobError
+
+            raise InvalidJobError(
+                "invalid workload: " + "; ".join(self.errors[:10])
+                + (f" (+{len(self.errors) - 10} more)" if len(self.errors) > 10 else "")
+            )
+
+
+def validate_workload(
+    jobs: Sequence[Job],
+    topology: Topology = None,
+    num_hosts: int = None,
+) -> ValidationReport:
+    """Check a workload; pass either a topology or a host count."""
+    report = ValidationReport()
+    if not jobs:
+        report.errors.append("workload has no jobs")
+        return report
+    if topology is not None:
+        num_hosts = topology.num_hosts
+    job_ids = set()
+    coflow_ids = set()
+    flow_ids = set()
+    for job in jobs:
+        if job.job_id in job_ids:
+            report.errors.append(f"duplicate job id {job.job_id}")
+        job_ids.add(job.job_id)
+        if job.arrival_time < 0:
+            report.errors.append(f"job {job.job_id}: negative arrival time")
+        if job.num_stages > 10:
+            report.warnings.append(
+                f"job {job.job_id}: {job.num_stages} stages "
+                "(production jobs rarely exceed ten)"
+            )
+        for coflow in job.coflows:
+            if coflow.coflow_id in coflow_ids:
+                report.errors.append(
+                    f"duplicate coflow id {coflow.coflow_id} "
+                    f"(job {job.job_id})"
+                )
+            coflow_ids.add(coflow.coflow_id)
+            for flow in coflow.flows:
+                if flow.flow_id in flow_ids:
+                    report.errors.append(
+                        f"duplicate flow id {flow.flow_id} "
+                        f"(coflow {coflow.coflow_id})"
+                    )
+                flow_ids.add(flow.flow_id)
+                if num_hosts is not None:
+                    for host, role in ((flow.src, "src"), (flow.dst, "dst")):
+                        if not 0 <= host < num_hosts:
+                            report.errors.append(
+                                f"flow {flow.flow_id}: {role} host {host} "
+                                f"outside 0..{num_hosts - 1}"
+                            )
+                if flow.size_bytes > 10e12:
+                    report.warnings.append(
+                        f"flow {flow.flow_id}: {flow.size_bytes / 1e12:.1f} TB "
+                        "in a single flow (larger than any trace flow)"
+                    )
+    return report

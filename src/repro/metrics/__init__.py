@@ -1,0 +1,53 @@
+"""Metrics: JCT/CCT statistics and the paper's improvement factor."""
+
+from repro.metrics.improvement import (
+    improvement_factor,
+    improvement_table,
+    overall_improvement,
+    per_category_improvement,
+)
+from repro.metrics.jct import (
+    JctSummary,
+    all_categories,
+    average_jct_by_category,
+    categories_present,
+    cct_summary,
+    jct_by_category,
+    jct_summary,
+)
+from repro.metrics.serialize import (
+    comparison_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
+)
+from repro.metrics.report import (
+    format_bar_chart,
+    format_category_table,
+    format_improvement_row,
+    format_jct_table,
+    format_series,
+)
+
+__all__ = [
+    "JctSummary",
+    "all_categories",
+    "average_jct_by_category",
+    "categories_present",
+    "cct_summary",
+    "comparison_to_dict",
+    "format_bar_chart",
+    "format_category_table",
+    "format_improvement_row",
+    "format_jct_table",
+    "format_series",
+    "improvement_factor",
+    "improvement_table",
+    "jct_by_category",
+    "jct_summary",
+    "load_json",
+    "result_to_dict",
+    "save_json",
+    "overall_improvement",
+    "per_category_improvement",
+]

@@ -1,0 +1,57 @@
+"""The paper's primary comparison metric: the improvement factor.
+
+::
+
+    improvement = JCT(compared scheme) / JCT(Gurita)
+
+Greater than one means Gurita is faster; less than one, slower (paper §V).
+Improvement can be computed over the whole run or per Table-1 category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ReproError
+from repro.metrics.jct import average_jct_by_category
+from repro.simulator.runtime import SimulationResult
+
+
+def improvement_factor(baseline_jct: float, gurita_jct: float) -> float:
+    """``baseline / gurita`` — > 1 means Gurita wins."""
+    if baseline_jct < 0 or gurita_jct <= 0:
+        raise ReproError(
+            f"invalid JCTs for improvement: baseline={baseline_jct}, "
+            f"gurita={gurita_jct}"
+        )
+    return baseline_jct / gurita_jct
+
+
+def overall_improvement(
+    baseline: SimulationResult, gurita: SimulationResult
+) -> float:
+    """Average-JCT improvement of ``gurita`` over ``baseline``."""
+    return improvement_factor(baseline.average_jct(), gurita.average_jct())
+
+
+def per_category_improvement(
+    baseline: SimulationResult, gurita: SimulationResult
+) -> Dict[int, float]:
+    """Improvement per Table-1 category present in both runs."""
+    base = average_jct_by_category(baseline)
+    ours = average_jct_by_category(gurita)
+    return {
+        category: improvement_factor(base[category], ours[category])
+        for category in sorted(set(base) & set(ours))
+    }
+
+
+def improvement_table(
+    baselines: Mapping[str, SimulationResult],
+    gurita: SimulationResult,
+) -> Dict[str, float]:
+    """Overall improvement of Gurita against several named baselines."""
+    return {
+        name: overall_improvement(result, gurita)
+        for name, result in baselines.items()
+    }

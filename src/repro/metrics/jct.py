@@ -1,0 +1,83 @@
+"""Job/coflow completion-time statistics over simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.simulator.runtime import SimulationResult
+from repro.workloads.categories import NUM_CATEGORIES, category_of
+
+
+@dataclass(frozen=True)
+class JctSummary:
+    """Distributional summary of a set of completion times."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    total: float
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "JctSummary":
+        if not values:
+            raise ReproError("cannot summarise an empty set of completion times")
+        ordered = sorted(values)
+        n = len(ordered)
+        return JctSummary(
+            count=n,
+            mean=sum(ordered) / n,
+            median=ordered[n // 2] if n % 2 else (ordered[n // 2 - 1] + ordered[n // 2]) / 2,
+            p95=ordered[min(n - 1, int(0.95 * n))],
+            maximum=ordered[-1],
+            total=sum(ordered),
+        )
+
+
+def jct_summary(result: SimulationResult) -> JctSummary:
+    """Summary of job completion times for one run."""
+    return JctSummary.from_values(list(result.job_completion_times().values()))
+
+
+def cct_summary(result: SimulationResult) -> JctSummary:
+    """Summary of coflow completion times for one run."""
+    return JctSummary.from_values(list(result.coflow_completion_times().values()))
+
+
+def jct_by_category(result: SimulationResult) -> Dict[int, List[float]]:
+    """Job completion times grouped by Table-1 size category (1..7).
+
+    Categories with no jobs are absent from the returned dict.
+    """
+    groups: Dict[int, List[float]] = {}
+    for job in result.jobs:
+        jct = job.completion_time()
+        if jct is None:
+            continue
+        groups.setdefault(category_of(job.total_bytes), []).append(jct)
+    return groups
+
+
+def average_jct_by_category(result: SimulationResult) -> Dict[int, float]:
+    """Mean JCT per populated Table-1 category."""
+    return {
+        category: sum(values) / len(values)
+        for category, values in jct_by_category(result).items()
+    }
+
+
+def categories_present(results: Sequence[SimulationResult]) -> List[int]:
+    """Categories populated in *all* of the given results (comparable)."""
+    present: Optional[set] = None
+    for result in results:
+        cats = set(jct_by_category(result))
+        present = cats if present is None else (present & cats)
+    return sorted(present or [])
+
+
+def all_categories() -> List[int]:
+    """The category indices 1..7 of Table 1."""
+    return list(range(1, NUM_CATEGORIES + 1))

@@ -1,0 +1,84 @@
+"""Plain-text report rendering for experiment output.
+
+These helpers print the rows/series the paper's figures report, so the
+benchmark harness output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.workloads.categories import category_label
+
+
+def format_improvement_row(
+    scenario: str, improvements: Mapping[str, float]
+) -> str:
+    """One Figure-5-style row: scenario + improvement per baseline."""
+    cells = "  ".join(
+        f"{name}={factor:5.2f}x" for name, factor in sorted(improvements.items())
+    )
+    return f"{scenario:<12s} {cells}"
+
+
+def format_category_table(
+    per_scheduler: Mapping[str, Mapping[int, float]],
+    title: str = "",
+) -> str:
+    """A Figure-6/7/8-style table: improvement per category per baseline.
+
+    ``per_scheduler`` maps scheduler name -> {category -> improvement}.
+    """
+    categories: List[int] = sorted(
+        {cat for factors in per_scheduler.values() for cat in factors}
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "scheduler   " + "".join(
+        f"{category_label(cat):>8s}" for cat in categories
+    )
+    lines.append(header)
+    for name in sorted(per_scheduler):
+        factors = per_scheduler[name]
+        row = f"{name:<12s}" + "".join(
+            f"{factors[cat]:8.2f}" if cat in factors else "       -"
+            for cat in categories
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float]) -> str:
+    """A labelled numeric series, 4 significant digits."""
+    return f"{label}: " + ", ".join(f"{v:.4g}" for v in values)
+
+
+def format_jct_table(averages: Mapping[str, float]) -> str:
+    """Average JCT per scheduler, sorted fastest first."""
+    lines = ["scheduler      avg JCT (s)"]
+    for name, jct in sorted(averages.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:<14s} {jct:10.4f}")
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "x",
+) -> str:
+    """ASCII horizontal bars — terminal rendition of the paper's figures.
+
+    Bars scale to the largest value; labels sort by value descending.
+    """
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(name)) for name in values)
+    lines = []
+    for name, value in sorted(values.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{name:<{label_width}s} |{bar:<{width}s}| {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Baraat — decentralized FIFO with Limited Multiplexing (ref [3]).
+
+Baraat schedules *tasks* (jobs) in arrival order: the oldest incomplete job
+owns the highest priority class and later jobs queue behind it.  Its one
+refinement is *limited multiplexing*: once the head job is detected to be
+heavy (bytes sent beyond a threshold), the next job is allowed to share the
+link rather than wait — heavy jobs stop consuming exclusive slots.
+
+The paper's critique (§V): every stage of a job inherits the job's FIFO
+rank, so "lower priority mice coflows queue behind larger higher priority
+coflows in every job stage".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.jobs.flow import Flow
+from repro.jobs.job import JobState
+from repro.schedulers.base import SchedulerPolicy
+from repro.simulator.bandwidth.request import (
+    AllocationMode,
+    AllocationRequest,
+    MAX_SWITCH_CLASSES,
+)
+
+#: Bytes after which a job counts as heavy (Baraat's multiplexing trigger).
+#: 100 MB ~ the elephant threshold for datacenter traffic.
+DEFAULT_HEAVY_BYTES = 100e6
+
+
+class BaraatScheduler(SchedulerPolicy):
+    """FIFO-LM: arrival-order priorities with limited multiplexing."""
+
+    name = "baraat"
+
+    def __init__(
+        self,
+        num_classes: int = MAX_SWITCH_CLASSES,
+        heavy_bytes: float = DEFAULT_HEAVY_BYTES,
+    ) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.heavy_bytes = heavy_bytes
+        self._arrival_order: List[int] = []
+
+    def on_job_arrival(self, job, now: float) -> None:
+        self._arrival_order.append(job.job_id)
+
+    def _job_classes(self) -> Dict[int, int]:
+        """FIFO rank -> priority class, with heavy jobs sharing their slot.
+
+        Walking jobs in arrival order, each incomplete job gets the current
+        rank as its class; a *heavy* job does not advance the rank, so the
+        job behind it multiplexes onto the same class.
+        """
+        assert self.context is not None
+        classes: Dict[int, int] = {}
+        rank = 0
+        for job_id in self._arrival_order:
+            job = self.context.job(job_id)
+            if job.state is not JobState.RUNNING:
+                continue
+            classes[job_id] = min(rank, self.num_classes - 1)
+            if job.bytes_sent < self.heavy_bytes:
+                rank += 1
+        return classes
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        assert self.context is not None
+        job_classes = self._job_classes()
+        priorities = {}
+        for flow in active_flows:
+            job_id = self.context.coflow(flow.coflow_id).job_id
+            priorities[flow.flow_id] = job_classes.get(job_id, self.num_classes - 1)
+        return AllocationRequest(
+            mode=AllocationMode.SPQ,
+            priorities=priorities,
+            num_classes=self.num_classes,
+        )

@@ -1,0 +1,82 @@
+"""Scheduling-policy interface.
+
+A :class:`SchedulerPolicy` observes the lifecycle of jobs/coflows/flows via
+hooks and, whenever the runtime reallocates bandwidth, answers with an
+:class:`~repro.simulator.bandwidth.request.AllocationRequest` (allocation
+mode + per-flow priority classes).  Policies never touch rates directly —
+that separation mirrors the paper's deployment story, where schedulers only
+set DSCP bits and switches enforce them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.jobs.coflow import Coflow
+from repro.jobs.flow import Flow
+from repro.jobs.job import Job
+from repro.schedulers.context import SchedulerContext
+from repro.simulator.bandwidth.request import AllocationRequest
+
+__all__ = ["SchedulerContext", "SchedulerPolicy"]
+
+
+class SchedulerPolicy(abc.ABC):
+    """Base class for all scheduling policies.
+
+    Subclasses override the hooks they care about; every hook has a no-op
+    default.  ``update_interval`` (seconds), when set, makes the runtime
+    call :meth:`on_update` periodically — this models coordination rounds
+    such as Gurita's head-receiver updates (interval δ) or Aalo's
+    coordinator epochs.
+    """
+
+    #: Human-readable policy name (used in reports and benchmarks).
+    name: str = "base"
+    #: Seconds between periodic :meth:`on_update` calls; None disables them.
+    update_interval: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.context: Optional[SchedulerContext] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, context: SchedulerContext) -> None:
+        """Called once by the runtime before the simulation starts."""
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (all optional)
+    # ------------------------------------------------------------------
+    def on_job_arrival(self, job: Job, now: float) -> None:
+        """A job arrived; its leaf coflows are about to be released."""
+
+    def on_coflow_release(self, coflow: Coflow, now: float) -> None:
+        """A coflow's dependencies completed; its flows just became active."""
+
+    def on_flow_finish(self, flow: Flow, now: float) -> None:
+        """A flow delivered its last byte."""
+
+    def on_coflow_finish(self, coflow: Coflow, now: float) -> None:
+        """Every flow of the coflow completed."""
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        """Every coflow of the job completed."""
+
+    def on_update(self, now: float) -> Optional[bool]:
+        """Periodic coordination round (only if ``update_interval`` set).
+
+        May return ``False`` to tell the runtime that no priority changed,
+        letting it skip the (expensive) rate recomputation; returning
+        ``True`` or ``None`` forces a reallocation.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # The one mandatory method
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        """Return the bandwidth-division instructions for this round."""

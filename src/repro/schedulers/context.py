@@ -1,0 +1,47 @@
+"""Read-only world state the runtime exposes to scheduling policies."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.jobs.coflow import Coflow
+from repro.jobs.job import Job
+
+
+class SchedulerContext:
+    """Lookups over the simulation's jobs and coflows.
+
+    Policies receive this at bind time and may query it during any hook;
+    they must treat it as read-only.  ``job_bytes_sent`` is an O(1)
+    incremental counter the runtime maintains (the naive
+    ``Job.bytes_sent`` property walks every flow, which is too slow on the
+    allocation hot path).
+    """
+
+    def __init__(
+        self,
+        jobs: Dict[int, Job],
+        coflows: Dict[int, Coflow],
+        job_bytes: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self._jobs = jobs
+        self._coflows = coflows
+        self._job_bytes = job_bytes
+
+    def job_bytes_sent(self, job_id: int) -> float:
+        """Bytes delivered so far by the job (O(1) when runtime-backed)."""
+        if self._job_bytes is not None:
+            return self._job_bytes.get(job_id, 0.0)
+        return self._jobs[job_id].bytes_sent
+
+    def job(self, job_id: int) -> Job:
+        return self._jobs[job_id]
+
+    def coflow(self, coflow_id: int) -> Coflow:
+        return self._coflows[coflow_id]
+
+    def job_of_coflow(self, coflow_id: int) -> Job:
+        return self._jobs[self._coflows[coflow_id].job_id]
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())

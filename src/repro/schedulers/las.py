@@ -1,0 +1,55 @@
+"""LAS — per-flow Least Attained Service (the PIAS-style baseline).
+
+The paper cites information-agnostic *flow*-level scheduling (PIAS, its
+ref [25]) as the per-flow counterpart of the TBS family: each flow is
+demoted through priority queues as its *own* bytes accumulate, with no
+notion of coflows, let alone jobs or stages.  Included as the finest-
+granularity comparator: it shows how much of Gurita's win comes from
+coflow/job awareness versus mere size discrimination.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jobs.flow import Flow
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.thresholds import ExponentialThresholds
+from repro.simulator.bandwidth.request import (
+    AllocationMode,
+    AllocationRequest,
+    DEFAULT_NUM_CLASSES,
+)
+
+#: PIAS-style first demotion boundary: 1 MB of attained service.
+DEFAULT_LAS_FIRST = 1e6
+
+
+class LasScheduler(SchedulerPolicy):
+    """Per-flow LAS with exponentially spaced demotion thresholds."""
+
+    name = "las"
+
+    def __init__(
+        self,
+        num_classes: int = DEFAULT_NUM_CLASSES,
+        thresholds: ExponentialThresholds = None,
+    ) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.thresholds = (
+            thresholds
+            if thresholds is not None
+            else ExponentialThresholds(num_classes, first=DEFAULT_LAS_FIRST)
+        )
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        priorities = {
+            flow.flow_id: self.thresholds.class_of(flow.bytes_sent)
+            for flow in active_flows
+        }
+        return AllocationRequest(
+            mode=AllocationMode.SPQ,
+            priorities=priorities,
+            num_classes=self.num_classes,
+        )

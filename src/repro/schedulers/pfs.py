@@ -1,0 +1,23 @@
+"""Per-Flow Fair Sharing (PFS) — the paper's baseline.
+
+PFS divides each link's capacity equally among the flows traversing it
+(max-min fair, i.e. ideal TCP).  It is coflow- and job-agnostic: no
+priorities, no coordination.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jobs.flow import Flow
+from repro.schedulers.base import SchedulerPolicy
+from repro.simulator.bandwidth.request import AllocationMode, AllocationRequest
+
+
+class PerFlowFairSharing(SchedulerPolicy):
+    """The PFS baseline: plain max-min fair sharing, no priorities."""
+
+    name = "pfs"
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        return AllocationRequest(mode=AllocationMode.MAXMIN)

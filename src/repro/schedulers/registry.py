@@ -1,0 +1,47 @@
+"""Name-based scheduler factory used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.config import GuritaConfig
+from repro.core.gurita import GuritaScheduler
+from repro.core.gurita_plus import GuritaPlusScheduler
+from repro.errors import SchedulerError
+from repro.schedulers.aalo import AaloScheduler
+from repro.schedulers.baraat import BaraatScheduler
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.schedulers.stream import StreamScheduler
+from repro.schedulers.tbs import StageBytesSjf, TotalBytesSjf
+from repro.schedulers.las import LasScheduler
+from repro.schedulers.varys import SebfScheduler
+
+_FACTORIES: Dict[str, Callable[[], SchedulerPolicy]] = {
+    "pfs": PerFlowFairSharing,
+    "baraat": BaraatScheduler,
+    "stream": StreamScheduler,
+    "aalo": AaloScheduler,
+    "sebf": SebfScheduler,
+    "las": LasScheduler,
+    "tbs-sjf": TotalBytesSjf,
+    "stage-sjf": StageBytesSjf,
+    "gurita": lambda: GuritaScheduler(GuritaConfig()),
+    "gurita+": lambda: GuritaPlusScheduler(GuritaConfig()),
+}
+
+
+def available_schedulers() -> List[str]:
+    """All registered policy names."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str) -> SchedulerPolicy:
+    """Instantiate a fresh policy by name (fresh state per simulation)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory()

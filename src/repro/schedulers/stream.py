@@ -1,0 +1,95 @@
+"""Stream — decentralized opportunistic inter-coflow scheduling (ref [14]).
+
+Stream is the paper's decentralized TBS comparator.  Each receiver demotes
+its coflows through exponentially spaced priority queues as the *observed*
+(received) bytes of the owning job accumulate — no central coordinator, so
+information is local and lags the senders.  Stream also leverages the
+coflow communication pattern: very wide (many-to-many) coflows are demoted
+one extra class because their aggregate traffic is likely to congest
+receivers.
+
+The paper's critique (§V): "Stream requires larger jobs to transmit at
+lower priority regardless of the amount of bytes sent per stage" — the
+accumulated score never resets when a new stage starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.jobs.flow import Flow
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.thresholds import ExponentialThresholds
+from repro.simulator.bandwidth.request import (
+    AllocationMode,
+    AllocationRequest,
+    DEFAULT_NUM_CLASSES,
+)
+
+#: Receivers refresh their local observations at this period (seconds).
+DEFAULT_OBSERVATION_INTERVAL = 8e-3
+
+#: Coflows wider than this are demoted one class (many-to-many pattern).
+DEFAULT_WIDE_COFLOW = 50
+
+
+class StreamScheduler(SchedulerPolicy):
+    """Decentralized D-CLAS on locally observed job bytes + width demotion."""
+
+    name = "stream"
+
+    def __init__(
+        self,
+        num_classes: int = DEFAULT_NUM_CLASSES,
+        thresholds: ExponentialThresholds = None,
+        observation_interval: float = DEFAULT_OBSERVATION_INTERVAL,
+        wide_coflow: int = DEFAULT_WIDE_COFLOW,
+    ) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.thresholds = (
+            thresholds
+            if thresholds is not None
+            else ExponentialThresholds(num_classes)
+        )
+        self.update_interval = observation_interval
+        self.wide_coflow = wide_coflow
+        #: job id -> bytes observed at receivers as of the last update.
+        self._observed_job_bytes: Dict[int, float] = {}
+
+    def on_update(self, now: float) -> bool:
+        """Receivers snapshot locally observed bytes (information lag).
+
+        Returns True only when some job's snapshot crossed a priority
+        threshold, so the runtime can skip no-op reallocations.
+        """
+        assert self.context is not None
+        changed = False
+        for job in self.context.jobs():
+            if job.completion_time() is not None:
+                continue
+            old = self._observed_job_bytes.get(job.job_id, 0.0)
+            new = self.context.job_bytes_sent(job.job_id)
+            self._observed_job_bytes[job.job_id] = new
+            if self.thresholds.class_of(old) != self.thresholds.class_of(new):
+                changed = True
+        return changed
+
+    def on_job_arrival(self, job, now: float) -> None:
+        self._observed_job_bytes.setdefault(job.job_id, 0.0)
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        assert self.context is not None
+        priorities = {}
+        for flow in active_flows:
+            coflow = self.context.coflow(flow.coflow_id)
+            observed = self._observed_job_bytes.get(coflow.job_id, 0.0)
+            cls = self.thresholds.class_of(observed)
+            if coflow.active_width > self.wide_coflow:
+                cls += 1
+            priorities[flow.flow_id] = min(cls, self.num_classes - 1)
+        return AllocationRequest(
+            mode=AllocationMode.SPQ,
+            priorities=priorities,
+            num_classes=self.num_classes,
+        )

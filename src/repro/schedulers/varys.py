@@ -1,0 +1,55 @@
+"""Varys-style SEBF — the clairvoyant coflow scheduler (related work [4]).
+
+Varys schedules coflows Smallest-Effective-Bottleneck-First: the coflow
+whose slowest remaining flow clears first goes first.  It needs flow sizes
+up front ("assumes that job size and structure are known ahead of time,
+limiting use in practice" — paper §Related Work), so the paper compares
+against its non-clairvoyant successor Aalo instead; SEBF is included here
+as the classic clairvoyant reference point and for extension studies.
+
+The effective bottleneck is evaluated on *remaining* bytes, so a coflow's
+priority improves as it drains — the coflow analogue of SRPT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.jobs.flow import Flow
+from repro.schedulers.base import SchedulerPolicy
+from repro.simulator.bandwidth.request import (
+    AllocationMode,
+    AllocationRequest,
+    MAX_SWITCH_CLASSES,
+)
+
+
+class SebfScheduler(SchedulerPolicy):
+    """Smallest Effective Bottleneck First over remaining flow volumes."""
+
+    name = "sebf"
+
+    def __init__(self, num_classes: int = MAX_SWITCH_CLASSES) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+
+    def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
+        bottleneck: Dict[int, float] = {}
+        for flow in active_flows:
+            coflow_id = flow.coflow_id
+            bottleneck[coflow_id] = max(
+                bottleneck.get(coflow_id, 0.0), flow.remaining_bytes
+            )
+        ranked = sorted(bottleneck, key=lambda cid: (bottleneck[cid], cid))
+        coflow_class = {
+            coflow_id: min(rank, self.num_classes - 1)
+            for rank, coflow_id in enumerate(ranked)
+        }
+        return AllocationRequest(
+            mode=AllocationMode.SPQ,
+            priorities={
+                flow.flow_id: coflow_class[flow.coflow_id]
+                for flow in active_flows
+            },
+            num_classes=self.num_classes,
+        )

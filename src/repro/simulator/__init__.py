@@ -1,0 +1,40 @@
+"""Flow-level discrete-event datacenter network simulator."""
+
+from repro.simulator.bandwidth import (
+    AllocationMode,
+    AllocationRequest,
+    DEFAULT_NUM_CLASSES,
+)
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.observability import NetworkProbe
+from repro.simulator.routing import EcmpRouter, flow_hash
+from repro.simulator.runtime import (
+    CoflowSimulation,
+    SimulationResult,
+    simulate,
+)
+from repro.simulator.topology import (
+    BigSwitchTopology,
+    FatTreeTopology,
+    TEN_GBPS,
+    Topology,
+)
+
+__all__ = [
+    "AllocationMode",
+    "AllocationRequest",
+    "BigSwitchTopology",
+    "CoflowSimulation",
+    "DEFAULT_NUM_CLASSES",
+    "EcmpRouter",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FatTreeTopology",
+    "NetworkProbe",
+    "SimulationResult",
+    "TEN_GBPS",
+    "Topology",
+    "flow_hash",
+    "simulate",
+]

@@ -1,0 +1,33 @@
+"""Bandwidth allocation: max-min (TCP), SPQ, and WRR-emulated SPQ."""
+
+from repro.simulator.bandwidth.maxmin import allocate_maxmin, water_fill
+from repro.simulator.bandwidth.request import (
+    DEFAULT_NUM_CLASSES,
+    MAX_SWITCH_CLASSES,
+    AllocationMode,
+    AllocationRequest,
+    dispatch_allocation,
+)
+from repro.simulator.bandwidth.spq import allocate_spq, group_by_class
+from repro.simulator.bandwidth.wrr import (
+    allocate_wrr,
+    class_loads_from_counts,
+    spq_waiting_times,
+    wrr_weights,
+)
+
+__all__ = [
+    "AllocationMode",
+    "AllocationRequest",
+    "DEFAULT_NUM_CLASSES",
+    "MAX_SWITCH_CLASSES",
+    "allocate_maxmin",
+    "allocate_spq",
+    "allocate_wrr",
+    "class_loads_from_counts",
+    "dispatch_allocation",
+    "group_by_class",
+    "spq_waiting_times",
+    "water_fill",
+    "wrr_weights",
+]

@@ -1,0 +1,78 @@
+"""Allocation requests: what a scheduling policy asks of the network.
+
+A scheduler does not set rates directly.  Each reallocation round it
+returns an :class:`AllocationRequest` describing *how* the network should
+divide bandwidth — plain max-min (PFS / TCP), strict priority queuing, or
+Gurita's WRR emulation — plus the per-flow priority classes.  The runtime
+hands the request to :func:`dispatch_allocation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import SchedulerError
+from repro.simulator.bandwidth.maxmin import Route, allocate_maxmin
+from repro.simulator.bandwidth.spq import allocate_spq
+from repro.simulator.bandwidth.wrr import DEFAULT_UTILIZATION, allocate_wrr
+
+#: Number of priority queues used in the paper's evaluation (§V).
+DEFAULT_NUM_CLASSES = 4
+
+#: What commodity switches typically support (paper cites 8).
+MAX_SWITCH_CLASSES = 8
+
+
+class AllocationMode(enum.Enum):
+    """How link bandwidth is divided among flows."""
+
+    MAXMIN = "maxmin"  #: per-flow fair sharing (TCP model; the PFS baseline)
+    SPQ = "spq"  #: strict priority queuing
+    WRR = "wrr"  #: WRR-emulated SPQ (Gurita's starvation mitigation)
+
+
+@dataclass
+class AllocationRequest:
+    """A scheduler's bandwidth-division instructions for one round."""
+
+    mode: AllocationMode = AllocationMode.MAXMIN
+    #: flow id -> priority class, 0 = highest.  Ignored for MAXMIN.
+    priorities: Dict[int, int] = field(default_factory=dict)
+    num_classes: int = DEFAULT_NUM_CLASSES
+    #: Utilisation parameter for the WRR waiting-time model.
+    utilization: float = DEFAULT_UTILIZATION
+    #: "inverse_wait" (default) or "literal"; see :mod:`...bandwidth.wrr`.
+    weight_mode: str = "inverse_wait"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_classes <= MAX_SWITCH_CLASSES:
+            raise SchedulerError(
+                f"num_classes must be in [1, {MAX_SWITCH_CLASSES}], "
+                f"got {self.num_classes}"
+            )
+
+
+def dispatch_allocation(
+    request: AllocationRequest,
+    flow_routes: Mapping[int, Route],
+    capacities: Sequence[float],
+) -> Dict[int, float]:
+    """Compute per-flow rates for ``request`` over the given routes."""
+    if request.mode is AllocationMode.MAXMIN:
+        return allocate_maxmin(flow_routes, list(capacities))
+    if request.mode is AllocationMode.SPQ:
+        return allocate_spq(
+            flow_routes, request.priorities, capacities, request.num_classes
+        )
+    if request.mode is AllocationMode.WRR:
+        return allocate_wrr(
+            flow_routes,
+            request.priorities,
+            capacities,
+            request.num_classes,
+            utilization=request.utilization,
+            weight_mode=request.weight_mode,
+        )
+    raise SchedulerError(f"unknown allocation mode {request.mode!r}")

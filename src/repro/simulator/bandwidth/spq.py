@@ -1,0 +1,53 @@
+"""Strict priority queuing (SPQ) rate allocation.
+
+SPQ is the enforcement mechanism available in commodity switches (paper
+§IV.B): packets of a higher-priority class are always served before those
+of a lower class.  At the flow level this means class 0 flows divide each
+link as if lower classes did not exist; class 1 flows divide what is left,
+and so on.  Within one class, sharing is TCP-like max-min.
+
+SPQ is work-conserving but can starve low classes — which is exactly the
+problem Gurita's WRR emulation (:mod:`repro.simulator.bandwidth.wrr`)
+addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.simulator.bandwidth.maxmin import Route, water_fill
+
+
+def group_by_class(
+    flow_routes: Mapping[int, Route],
+    priorities: Mapping[int, int],
+    num_classes: int,
+) -> List[Dict[int, Route]]:
+    """Split flows into per-class route maps; out-of-range classes clamp."""
+    groups: List[Dict[int, Route]] = [dict() for _ in range(num_classes)]
+    for flow_id, route in flow_routes.items():
+        cls = priorities.get(flow_id, num_classes - 1)
+        cls = min(max(cls, 0), num_classes - 1)
+        groups[cls][flow_id] = route
+    return groups
+
+
+def allocate_spq(
+    flow_routes: Mapping[int, Route],
+    priorities: Mapping[int, int],
+    capacities: Sequence[float],
+    num_classes: int,
+) -> Dict[int, float]:
+    """Rates under strict priority: higher classes allocate first.
+
+    ``priorities`` maps flow id to class (0 = highest).  Flows missing from
+    the map fall into the lowest class.
+    """
+    residual = np.array(capacities, dtype=float)
+    rates: Dict[int, float] = {}
+    for class_flows in group_by_class(flow_routes, priorities, num_classes):
+        if class_flows:
+            rates.update(water_fill(class_flows, residual))
+    return rates

@@ -1,0 +1,81 @@
+"""Deterministic event queue for the flow-level simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events at the same timestamp pop
+in the order they were scheduled.  ``priority`` lets structurally different
+events at the same instant be ordered (e.g. arrivals before reallocation).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events, in intra-timestamp processing order."""
+
+    JOB_ARRIVAL = 0
+    FLOW_COMPLETION = 1
+    SCHEDULER_UPDATE = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled simulator event."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = None
+    #: Allocation epoch at scheduling time; stale completion events
+    #: (scheduled under an old rate assignment) are skipped on pop.
+    epoch: int = 0
+
+
+class EventQueue:
+    """Min-heap of events with deterministic total ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._size = 0
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: Any = None,
+        epoch: int = 0,
+    ) -> Event:
+        """Schedule an event; returns the Event object."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, kind=kind, seq=next(self._seq), payload=payload, epoch=epoch)
+        heapq.heappush(self._heap, (event.time, int(event.kind), event.seq, event))
+        self._size += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        self._size -= 1
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest event, or None if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

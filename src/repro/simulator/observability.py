@@ -1,0 +1,136 @@
+"""Observability: link utilisation and priority-class accounting.
+
+An optional probe that snapshots the network at every reallocation:
+per-link utilisation, bytes served per priority class, and a starvation
+detector (flows stuck at rate zero).  Used by the ablation benches to
+*show* — rather than assert — that Gurita's WRR emulation removes
+starvation while raw SPQ exhibits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulator.runtime import CoflowSimulation
+
+
+@dataclass
+class UtilizationSample:
+    """One snapshot of network state at a reallocation instant."""
+
+    time: float
+    active_flows: int
+    busiest_link_utilization: float
+    mean_link_utilization: float
+    starved_flows: int  #: active flows currently at rate zero
+
+
+@dataclass
+class ClassAccounting:
+    """Bytes served and flow-seconds spent per priority class."""
+
+    bytes_served: Dict[int, float] = field(default_factory=dict)
+    flow_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, priority: Optional[int], rate: float, elapsed: float) -> None:
+        cls = priority if priority is not None else 0
+        self.bytes_served[cls] = self.bytes_served.get(cls, 0.0) + rate * elapsed
+        self.flow_seconds[cls] = self.flow_seconds.get(cls, 0.0) + elapsed
+
+
+class NetworkProbe:
+    """Wraps a simulation's reallocation step to collect samples.
+
+    Usage::
+
+        sim = CoflowSimulation(topology, scheduler, jobs)
+        probe = NetworkProbe(sim)
+        result = sim.run()
+        print(probe.max_starvation_streak())
+    """
+
+    def __init__(self, simulation: CoflowSimulation) -> None:
+        self.simulation = simulation
+        self.samples: List[UtilizationSample] = []
+        self.class_accounting = ClassAccounting()
+        self._capacities = simulation.topology.links.capacities()
+        self._last_time: Optional[float] = None
+        self._last_rates: Dict[int, tuple] = {}
+        self._starved_since: Dict[int, float] = {}
+        self._max_starvation: float = 0.0
+        original = simulation._reallocate
+
+        def wrapped() -> None:
+            self._account_elapsed()
+            original()
+            self._sample()
+
+        simulation._reallocate = wrapped  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def _account_elapsed(self) -> None:
+        now = self.simulation.now
+        if self._last_time is not None:
+            elapsed = now - self._last_time
+            if elapsed > 0:
+                for _flow_id, (priority, rate) in self._last_rates.items():
+                    self.class_accounting.record(priority, rate, elapsed)
+        self._last_time = now
+
+    def _sample(self) -> None:
+        sim = self.simulation
+        now = sim.now
+        usage = [0.0] * len(self._capacities)
+        starved = 0
+        self._last_rates = {}
+        for flow in sim._active.values():
+            self._last_rates[flow.flow_id] = (flow.priority, flow.rate)
+            if flow.rate <= 0.0:
+                starved += 1
+                start = self._starved_since.setdefault(flow.flow_id, now)
+                self._max_starvation = max(self._max_starvation, now - start)
+            else:
+                self._starved_since.pop(flow.flow_id, None)
+            for link_id in flow.route:
+                usage[link_id] += flow.rate
+        utilizations = [
+            use / cap for use, cap in zip(usage, self._capacities) if cap > 0
+        ]
+        busiest = max(utilizations, default=0.0)
+        mean = sum(utilizations) / len(utilizations) if utilizations else 0.0
+        self.samples.append(
+            UtilizationSample(
+                time=now,
+                active_flows=len(sim._active),
+                busiest_link_utilization=busiest,
+                mean_link_utilization=mean,
+                starved_flows=starved,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Report helpers
+    # ------------------------------------------------------------------
+    def peak_utilization(self) -> float:
+        return max((s.busiest_link_utilization for s in self.samples), default=0.0)
+
+    def mean_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.mean_link_utilization for s in self.samples) / len(self.samples)
+
+    def ever_starved(self) -> bool:
+        """Did any flow sit at rate zero at some reallocation instant?"""
+        return any(s.starved_flows > 0 for s in self.samples)
+
+    def max_starvation_streak(self) -> float:
+        """Longest continuous time one flow spent at rate zero."""
+        # Close out flows still starved at the end of the run.
+        now = self.simulation.now
+        for start in self._starved_since.values():
+            self._max_starvation = max(self._max_starvation, now - start)
+        return self._max_starvation
+
+    def bytes_by_class(self) -> Dict[int, float]:
+        return dict(self.class_accounting.bytes_served)

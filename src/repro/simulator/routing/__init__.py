@@ -1,0 +1,5 @@
+"""Routing policies (currently ECMP, the datacenter standard)."""
+
+from repro.simulator.routing.ecmp import EcmpRouter, flow_hash
+
+__all__ = ["EcmpRouter", "flow_hash"]

@@ -1,0 +1,46 @@
+"""Equal-Cost Multi-Path routing by flow hashing.
+
+ECMP load-balances flows over the equal-cost route candidates the topology
+exposes.  Like real switches, the choice is a deterministic hash of the
+flow identity, so a given flow always takes the same path (no packet
+reordering) while distinct flows spread across paths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.jobs.flow import Flow
+from repro.simulator.topology.base import Topology
+
+#: Knuth multiplicative-hash constant (2^64 / golden ratio).
+_HASH_MULTIPLIER = 0x9E3779B97F4A7C15
+_HASH_MASK = (1 << 64) - 1
+
+
+def flow_hash(flow_id: int, src: int, dst: int, salt: int = 0) -> int:
+    """Deterministic 64-bit hash of a flow's identity.
+
+    Real ECMP hashes the 5-tuple; the simulator's analogue is
+    (flow id, src host, dst host) plus an optional salt used to vary the
+    hash function across experiments.
+    """
+    value = (flow_id * 1_000_003 + src * 10_007 + dst * 101 + salt) & _HASH_MASK
+    value = (value * _HASH_MULTIPLIER) & _HASH_MASK
+    value ^= value >> 29
+    value = (value * _HASH_MULTIPLIER) & _HASH_MASK
+    value ^= value >> 32
+    return value
+
+
+class EcmpRouter:
+    """Routes flows over a topology by hashing them onto path candidates."""
+
+    def __init__(self, topology: Topology, salt: int = 0) -> None:
+        self.topology = topology
+        self.salt = salt
+
+    def route_flow(self, flow: Flow) -> Tuple[int, ...]:
+        """Pick the flow's route; deterministic per flow identity."""
+        selector = flow_hash(flow.flow_id, flow.src, flow.dst, self.salt)
+        return self.topology.route(flow.src, flow.dst, selector)

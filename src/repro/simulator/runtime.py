@@ -1,0 +1,329 @@
+"""Flow-level discrete-event simulation runtime.
+
+This couples a topology, a routing policy, a scheduling policy, and a
+workload (a list of jobs) into one event loop.  As in the paper (§V), the
+simulator is *flow-level*: it processes flow arrival and departure events
+and recomputes per-flow rates whenever the set of active flows or their
+priorities change — no per-packet simulation.
+
+Event loop invariants:
+
+* volumes advance linearly at the current rates between events;
+* a reallocation happens after every batch of same-timestamp events and at
+  every periodic scheduler update;
+* flow-completion events carry the allocation epoch at which they were
+  predicted and are skipped if a newer allocation invalidated them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.jobs.coflow import Coflow
+from repro.jobs.flow import VOLUME_EPSILON, Flow
+from repro.jobs.job import Job
+from repro.schedulers.context import SchedulerContext
+from repro.simulator.bandwidth.request import dispatch_allocation
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.routing.ecmp import EcmpRouter
+from repro.simulator.topology.base import Topology
+
+if TYPE_CHECKING:  # imported lazily to avoid a package cycle at runtime
+    from repro.schedulers.base import SchedulerPolicy
+
+#: Safety valve against runaway simulations.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    jobs: List[Job]
+    makespan: float
+    events_processed: int
+    reallocations: int
+    scheduler_name: str
+
+    def job_completion_times(self) -> Dict[int, float]:
+        """JCT per completed job id."""
+        out: Dict[int, float] = {}
+        for job in self.jobs:
+            jct = job.completion_time()
+            if jct is not None:
+                out[job.job_id] = jct
+        return out
+
+    def average_jct(self) -> float:
+        """Average job completion time over completed jobs."""
+        jcts = list(self.job_completion_times().values())
+        if not jcts:
+            raise SimulationError("no completed jobs to average")
+        return sum(jcts) / len(jcts)
+
+    def coflow_completion_times(self) -> Dict[int, float]:
+        """CCT per completed coflow id."""
+        out: Dict[int, float] = {}
+        for job in self.jobs:
+            for coflow in job.coflows:
+                cct = coflow.completion_time()
+                if cct is not None:
+                    out[coflow.coflow_id] = cct
+        return out
+
+    def average_cct(self) -> float:
+        ccts = list(self.coflow_completion_times().values())
+        if not ccts:
+            raise SimulationError("no completed coflows to average")
+        return sum(ccts) / len(ccts)
+
+    @property
+    def all_done(self) -> bool:
+        return all(job.completion_time() is not None for job in self.jobs)
+
+
+class CoflowSimulation:
+    """One simulation: topology + router + scheduler + jobs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: SchedulerPolicy,
+        jobs: Sequence[Job],
+        router: Optional[EcmpRouter] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if not jobs:
+            raise SimulationError("simulation needs at least one job")
+        self.topology = topology
+        self.scheduler = scheduler
+        self.router = router if router is not None else EcmpRouter(topology)
+        self.max_events = max_events
+
+        self.jobs: Dict[int, Job] = {}
+        self.coflows: Dict[int, Coflow] = {}
+        self.flows: Dict[int, Flow] = {}
+        for job in jobs:
+            if job.job_id in self.jobs:
+                raise SimulationError(f"duplicate job id {job.job_id}")
+            self.jobs[job.job_id] = job
+            for coflow in job.coflows:
+                if coflow.coflow_id in self.coflows:
+                    raise SimulationError(f"duplicate coflow id {coflow.coflow_id}")
+                self.coflows[coflow.coflow_id] = coflow
+                for flow in coflow.flows:
+                    if flow.flow_id in self.flows:
+                        raise SimulationError(f"duplicate flow id {flow.flow_id}")
+                    self.flows[flow.flow_id] = flow
+                    self.topology.validate_host(flow.src)
+                    self.topology.validate_host(flow.dst)
+
+        #: incremental bytes-delivered counter per job (hot-path cache)
+        self._job_bytes: Dict[int, float] = {job_id: 0.0 for job_id in self.jobs}
+        self._job_of_flow: Dict[int, int] = {
+            flow.flow_id: coflow.job_id
+            for coflow in self.coflows.values()
+            for flow in coflow.flows
+        }
+        self.scheduler.bind(
+            SchedulerContext(self.jobs, self.coflows, self._job_bytes)
+        )
+        self._queue = EventQueue()
+        self._capacities = self.topology.links.capacities()
+        self._active: Dict[int, Flow] = {}
+        self._now = 0.0
+        self._epoch = 0
+        self._events_processed = 0
+        self._reallocations = 0
+        self._incomplete_jobs = len(self.jobs)
+        self._update_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run to completion (or to ``until`` seconds of simulated time)."""
+        for job in self.jobs.values():
+            self._queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
+        if self.scheduler.update_interval is not None:
+            first = min(job.arrival_time for job in self.jobs.values())
+            self._queue.push(
+                first + self.scheduler.update_interval, EventKind.SCHEDULER_UPDATE
+            )
+            self._update_scheduled = True
+
+        while self._queue and self._incomplete_jobs > 0:
+            if until is not None and self._queue.peek_time() is not None:
+                if self._queue.peek_time() > until:
+                    break
+            self._step()
+            if self._events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a starved flow with no rate (check the policy)"
+                )
+
+        if self._incomplete_jobs > 0 and until is None:
+            raise SimulationError(
+                f"simulation stalled with {self._incomplete_jobs} incomplete jobs "
+                f"at t={self._now}"
+            )
+        return SimulationResult(
+            jobs=list(self.jobs.values()),
+            makespan=self._now,
+            events_processed=self._events_processed,
+            reallocations=self._reallocations,
+            scheduler_name=self.scheduler.name,
+        )
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        """Process every event at the next timestamp, then reallocate."""
+        event = self._queue.pop()
+        self._events_processed += 1
+        batch_time = event.time
+        self._advance_to(batch_time)
+        changed = self._handle(event)
+
+        # Drain all events that share this timestamp.
+        while self._queue and self._queue.peek_time() == batch_time:
+            changed = self._handle(self._queue.pop()) or changed
+            self._events_processed += 1
+
+        # A completion prediction landing exactly on schedule also counts.
+        changed = self._finish_ripe_flows() or changed
+        if changed:
+            self._reallocate()
+
+    def _advance_to(self, time: float) -> None:
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"time went backwards: {self._now} -> {time}"
+            )
+        elapsed = time - self._now
+        if elapsed > 0:
+            for flow in self._active.values():
+                delivered = min(flow.rate * elapsed, flow.remaining_bytes)
+                if delivered > 0:
+                    self._job_bytes[self._job_of_flow[flow.flow_id]] += delivered
+                flow.advance(elapsed)
+        self._now = max(self._now, time)
+
+    def _handle(self, event) -> bool:
+        """Apply one event; returns True if the active flow set changed."""
+        if event.kind is EventKind.JOB_ARRIVAL:
+            job = self.jobs[event.payload]
+            self.scheduler.on_job_arrival(job, self._now)
+            for coflow in job.arrive(self._now):
+                self._release_coflow(coflow)
+            return True
+        if event.kind is EventKind.FLOW_COMPLETION:
+            # Stale predictions (older epoch) are no-ops; fresh ones are
+            # handled by _finish_ripe_flows after the batch drains.
+            return event.epoch == self._epoch
+        if event.kind is EventKind.SCHEDULER_UPDATE:
+            changed = self.scheduler.on_update(self._now)
+            if self._incomplete_jobs > 0 and self.scheduler.update_interval:
+                self._queue.push(
+                    self._now + self.scheduler.update_interval,
+                    EventKind.SCHEDULER_UPDATE,
+                )
+            # Policies may report "nothing changed" to skip reallocation.
+            return True if changed is None else bool(changed)
+        raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _release_coflow(self, coflow: Coflow) -> None:
+        coflow.release(self._now)
+        for flow in coflow.flows:
+            flow.route = self.router.route_flow(flow)
+            self._active[flow.flow_id] = flow
+        self.scheduler.on_coflow_release(coflow, self._now)
+
+    def _time_tick(self) -> float:
+        """The smallest representable time step at the current clock.
+
+        Flows whose remaining transfer time falls below this cannot make
+        float-visible progress and must be treated as complete, or the
+        completion event would re-fire at the same timestamp forever.
+        """
+        return max(math.ulp(self._now) * 8.0, 1e-15)
+
+    def _finish_ripe_flows(self) -> bool:
+        """Complete every active flow whose volume has drained (or whose
+        remaining transfer time is below float time resolution)."""
+        tick = self._time_tick()
+        ripe = [
+            f
+            for f in self._active.values()
+            if f.remaining_bytes <= VOLUME_EPSILON
+            or f.remaining_bytes <= f.rate * tick
+        ]
+        if not ripe:
+            return False
+        for flow in ripe:
+            flow.finish(self._now)
+            del self._active[flow.flow_id]
+            self.scheduler.on_flow_finish(flow, self._now)
+            coflow = self.coflows[flow.coflow_id]
+            if coflow.maybe_complete(self._now):
+                self.scheduler.on_coflow_finish(coflow, self._now)
+                job = self.jobs[coflow.job_id]
+                for dependent in job.releasable_after(coflow.coflow_id):
+                    self._release_coflow(dependent)
+                if job.maybe_complete(self._now):
+                    self._incomplete_jobs -= 1
+                    self.scheduler.on_job_finish(job, self._now)
+        # Releasing dependents may have unlocked flows that are themselves
+        # zero-volume corner cases; they get caught on the next round.
+        return True
+
+    def _reallocate(self) -> None:
+        """Ask the scheduler for priorities and recompute all rates."""
+        self._epoch += 1
+        self._reallocations += 1
+        active = list(self._active.values())
+        if not active:
+            return
+        request = self.scheduler.allocation(active, self._now)
+        flow_routes = {f.flow_id: f.route for f in active}
+        rates = dispatch_allocation(request, flow_routes, self._capacities)
+        next_completion: Optional[float] = None
+        for flow in active:
+            flow.priority = request.priorities.get(flow.flow_id, flow.priority)
+            flow.rate = rates.get(flow.flow_id, 0.0)
+            if flow.rate > 0:
+                eta = self._now + flow.remaining_bytes / flow.rate
+                if next_completion is None or eta < next_completion:
+                    next_completion = eta
+        if next_completion is not None:
+            # Clamp below float time resolution so the event strictly
+            # advances the clock; the ripeness test completes such flows.
+            next_completion = max(next_completion, self._now + self._time_tick())
+            self._queue.push(
+                next_completion, EventKind.FLOW_COMPLETION, epoch=self._epoch
+            )
+        elif not self._queue:
+            raise SimulationError(
+                f"deadlock at t={self._now}: {len(active)} active flows, "
+                "all at rate zero and no pending events"
+            )
+
+
+def simulate(
+    topology: Topology,
+    scheduler: SchedulerPolicy,
+    jobs: Sequence[Job],
+    router: Optional[EcmpRouter] = None,
+    until: Optional[float] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`CoflowSimulation` and run it."""
+    return CoflowSimulation(topology, scheduler, jobs, router=router).run(until=until)

@@ -1,0 +1,15 @@
+"""Datacenter network topologies: big-switch fabric and k-pod FatTree."""
+
+from repro.simulator.topology.base import Topology
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.simulator.topology.fattree import FatTreeTopology
+from repro.simulator.topology.links import TEN_GBPS, Link, LinkTable
+
+__all__ = [
+    "BigSwitchTopology",
+    "FatTreeTopology",
+    "Link",
+    "LinkTable",
+    "TEN_GBPS",
+    "Topology",
+]

@@ -1,0 +1,54 @@
+"""Non-blocking big-switch fabric (the paper's analysis abstraction, §II).
+
+Every host has one uplink into and one downlink out of a single virtual
+switch of infinite backplane capacity.  Congestion can only occur at host
+NICs — the standard abstraction of Varys/Aalo-style coflow work, and the
+fastest substrate for experimentation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import TopologyError
+from repro.simulator.topology.base import Topology
+from repro.simulator.topology.links import TEN_GBPS
+
+
+class BigSwitchTopology(Topology):
+    """An ``n x n`` non-blocking fabric with per-host NIC capacity."""
+
+    def __init__(self, num_hosts: int, link_capacity: float = TEN_GBPS) -> None:
+        super().__init__()
+        if num_hosts < 2:
+            raise TopologyError("big switch needs at least 2 hosts")
+        self._num_hosts = num_hosts
+        self._uplink = []
+        self._downlink = []
+        for host in range(num_hosts):
+            self._uplink.append(self.links.add(f"h{host}", "fabric", link_capacity))
+            self._downlink.append(self.links.add("fabric", f"h{host}", link_capacity))
+
+    @property
+    def num_hosts(self) -> int:
+        return self._num_hosts
+
+    def num_route_choices(self, src: int, dst: int) -> int:
+        self.validate_host(src)
+        self.validate_host(dst)
+        return 1
+
+    def route(self, src: int, dst: int, selector: int) -> Tuple[int, ...]:
+        self.validate_host(src)
+        self.validate_host(dst)
+        if src == dst:
+            raise TopologyError("no route from a host to itself")
+        return (self._uplink[src], self._downlink[dst])
+
+    def uplink_of(self, host: int) -> int:
+        """Link id of the host's ingress (sender NIC) link."""
+        return self._uplink[host]
+
+    def downlink_of(self, host: int) -> int:
+        """Link id of the host's egress (receiver NIC) link."""
+        return self._downlink[host]

@@ -1,0 +1,143 @@
+"""k-pod FatTree topology (Al-Fares et al., SIGCOMM 2008).
+
+The paper evaluates on an 8-pod FatTree (128 servers, 80 switches) and, for
+the bursty large-scale scenario, a 48-pod FatTree (27,648 servers, 2,880
+switches).  A k-pod FatTree has:
+
+* ``k`` pods, each with ``k/2`` edge and ``k/2`` aggregation switches,
+* ``(k/2)^2`` core switches in ``k/2`` groups of ``k/2``,
+* ``k/2`` hosts per edge switch, hence ``k^3/4`` hosts total.
+
+Aggregation switch ``a`` of every pod connects to the ``k/2`` core switches
+of group ``a``.  Equal-cost routes between pods are parameterised by the
+(aggregation switch, core index) pair, giving ``(k/2)^2`` choices; ECMP
+picks one by flow hash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+from repro.simulator.topology.base import Topology
+from repro.simulator.topology.links import TEN_GBPS
+
+
+class FatTreeTopology(Topology):
+    """A k-pod FatTree with uniform link capacity."""
+
+    def __init__(self, k: int = 8, link_capacity: float = TEN_GBPS) -> None:
+        super().__init__()
+        if k < 2 or k % 2 != 0:
+            raise TopologyError(f"FatTree pod count k must be even and >= 2, got {k}")
+        self.k = k
+        self.half = k // 2
+        half = self.half
+        self._num_hosts = k * half * half
+
+        # host <-> edge links
+        self._host_up: List[int] = []
+        self._host_down: List[int] = []
+        for host in range(self._num_hosts):
+            pod, edge, _port = self.host_position(host)
+            up, down = self.links.add_duplex(
+                f"h{host}", f"p{pod}e{edge}", link_capacity
+            )
+            self._host_up.append(up)
+            self._host_down.append(down)
+
+        # edge <-> aggregation links (full bipartite within each pod)
+        self._edge_up = [
+            [[0] * half for _ in range(half)] for _ in range(k)
+        ]  # [pod][edge][agg]
+        self._agg_down = [
+            [[0] * half for _ in range(half)] for _ in range(k)
+        ]  # [pod][agg][edge]
+        for pod in range(k):
+            for edge in range(half):
+                for agg in range(half):
+                    up, down = self.links.add_duplex(
+                        f"p{pod}e{edge}", f"p{pod}a{agg}", link_capacity
+                    )
+                    self._edge_up[pod][edge][agg] = up
+                    self._agg_down[pod][agg][edge] = down
+
+        # aggregation <-> core links (agg `a` to core group `a`)
+        self._agg_up = [
+            [[0] * half for _ in range(half)] for _ in range(k)
+        ]  # [pod][agg][core_index]
+        self._core_down = [
+            [[0] * k for _ in range(half)] for _ in range(half)
+        ]  # [group][core_index][pod]
+        for pod in range(k):
+            for agg in range(half):
+                for core_index in range(half):
+                    up, down = self.links.add_duplex(
+                        f"p{pod}a{agg}", f"c{agg}_{core_index}", link_capacity
+                    )
+                    self._agg_up[pod][agg][core_index] = up
+                    self._core_down[agg][core_index][pod] = down
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        return self._num_hosts
+
+    @property
+    def num_switches(self) -> int:
+        """Edge + aggregation + core switch count (e.g. 80 for k=8)."""
+        return self.k * self.half * 2 + self.half * self.half
+
+    def host_position(self, host: int) -> Tuple[int, int, int]:
+        """Decompose a host id into (pod, edge switch, port)."""
+        self.validate_host(host)
+        per_pod = self.half * self.half
+        pod = host // per_pod
+        within = host % per_pod
+        return pod, within // self.half, within % self.half
+
+    # ------------------------------------------------------------------
+    # Routing candidates
+    # ------------------------------------------------------------------
+    def num_route_choices(self, src: int, dst: int) -> int:
+        src_pod, src_edge, _ = self.host_position(src)
+        dst_pod, dst_edge, _ = self.host_position(dst)
+        if src == dst:
+            raise TopologyError("no route from a host to itself")
+        if src_pod == dst_pod:
+            if src_edge == dst_edge:
+                return 1
+            return self.half
+        return self.half * self.half
+
+    def route(self, src: int, dst: int, selector: int) -> Tuple[int, ...]:
+        src_pod, src_edge, _ = self.host_position(src)
+        dst_pod, dst_edge, _ = self.host_position(dst)
+        if src == dst:
+            raise TopologyError("no route from a host to itself")
+        choices = self.num_route_choices(src, dst)
+        selector %= choices
+        up = self._host_up[src]
+        down = self._host_down[dst]
+        if src_pod == dst_pod and src_edge == dst_edge:
+            return (up, down)
+        if src_pod == dst_pod:
+            agg = selector
+            return (
+                up,
+                self._edge_up[src_pod][src_edge][agg],
+                self._agg_down[src_pod][agg][dst_edge],
+                down,
+            )
+        agg = selector // self.half
+        core_index = selector % self.half
+        return (
+            up,
+            self._edge_up[src_pod][src_edge][agg],
+            self._agg_up[src_pod][agg][core_index],
+            self._core_down[agg][core_index][dst_pod],
+            self._agg_down[dst_pod][agg][dst_edge],
+            down,
+        )

@@ -1,0 +1,73 @@
+"""Directed links with capacities.
+
+Links are the resource the bandwidth allocator divides.  Each physical cable
+is modelled as two directed links (one per direction), so a full-duplex 10G
+port contributes 10G in each direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import TopologyError
+
+#: 10 Gigabit/s expressed in bytes per second (the paper's switch speed).
+TEN_GBPS = 10e9 / 8.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two nodes of the topology."""
+
+    link_id: int
+    src_node: str
+    dst_node: str
+    capacity: float  #: bytes per second
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise TopologyError(
+                f"link {self.src_node}->{self.dst_node} needs positive capacity"
+            )
+
+
+class LinkTable:
+    """Registry of directed links with O(1) endpoint lookup."""
+
+    def __init__(self) -> None:
+        self._links: List[Link] = []
+        self._by_endpoints: Dict[Tuple[str, str], int] = {}
+
+    def add(self, src_node: str, dst_node: str, capacity: float) -> int:
+        """Register a directed link; returns its id."""
+        key = (src_node, dst_node)
+        if key in self._by_endpoints:
+            raise TopologyError(f"duplicate link {src_node}->{dst_node}")
+        link_id = len(self._links)
+        self._links.append(Link(link_id, src_node, dst_node, capacity))
+        self._by_endpoints[key] = link_id
+        return link_id
+
+    def add_duplex(self, node_a: str, node_b: str, capacity: float) -> Tuple[int, int]:
+        """Register both directions of a cable; returns (a->b id, b->a id)."""
+        return self.add(node_a, node_b, capacity), self.add(node_b, node_a, capacity)
+
+    def id_of(self, src_node: str, dst_node: str) -> int:
+        try:
+            return self._by_endpoints[(src_node, dst_node)]
+        except KeyError:
+            raise TopologyError(f"no link {src_node}->{dst_node}") from None
+
+    def link(self, link_id: int) -> Link:
+        return self._links[link_id]
+
+    def capacities(self) -> List[float]:
+        """Capacity array indexed by link id (bytes/second)."""
+        return [link.capacity for link in self._links]
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self):
+        return iter(self._links)

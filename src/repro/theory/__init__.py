@@ -1,0 +1,99 @@
+"""Scheduling theory toolkit: Johnson's rule, FFS-MJ, COSP, exact solvers."""
+
+from repro.theory.cosp import (
+    CospJob,
+    brute_force_best_order,
+    permutation_completion_times,
+    smallest_max_work_first,
+    total_completion_time,
+)
+from repro.theory.exact import (
+    MAX_BRUTE_FORCE_JOBS,
+    Schedule,
+    brute_force_best,
+    brute_force_worst,
+    schedule_by_order,
+)
+from repro.theory.examples import (
+    FIG2_PAPER_STAGE_AWARE_AVERAGE,
+    FIG2_PAPER_TBS_AVERAGE,
+    FIG4_PAPER_BLOCKING_AVERAGE,
+    FIG4_PAPER_LEAST_BLOCKING_AVERAGE,
+    figure2_averages,
+    figure2_schedules,
+    figure2_stage_aware_instance,
+    figure2_tbs_instance,
+    figure4_averages,
+    figure4_instance,
+    figure4_schedules,
+)
+from repro.theory.ffs import (
+    FfsCoflow,
+    FfsInstance,
+    FfsJob,
+    FfsOperation,
+    chain_instance,
+    single_stage_instance,
+)
+from repro.theory.johnson import (
+    TwoMachineJob,
+    flow_shop_completion_times,
+    flow_shop_makespan,
+    johnson_order,
+)
+from repro.theory.reduction import (
+    job_to_ffs,
+    jobs_to_ffs_instance,
+    optimal_total_jct,
+)
+from repro.theory.lowerbound import (
+    coflow_service_bound,
+    job_critical_path_bound,
+    job_lower_bound,
+    job_port_bound,
+    mean_optimality_gap,
+    optimality_gaps,
+)
+
+__all__ = [
+    "CospJob",
+    "FIG2_PAPER_STAGE_AWARE_AVERAGE",
+    "FIG2_PAPER_TBS_AVERAGE",
+    "FIG4_PAPER_BLOCKING_AVERAGE",
+    "FIG4_PAPER_LEAST_BLOCKING_AVERAGE",
+    "FfsCoflow",
+    "FfsInstance",
+    "FfsJob",
+    "FfsOperation",
+    "MAX_BRUTE_FORCE_JOBS",
+    "Schedule",
+    "TwoMachineJob",
+    "brute_force_best",
+    "brute_force_best_order",
+    "brute_force_worst",
+    "chain_instance",
+    "coflow_service_bound",
+    "figure2_averages",
+    "figure2_schedules",
+    "figure2_stage_aware_instance",
+    "figure2_tbs_instance",
+    "figure4_averages",
+    "figure4_instance",
+    "figure4_schedules",
+    "flow_shop_completion_times",
+    "flow_shop_makespan",
+    "job_critical_path_bound",
+    "job_to_ffs",
+    "jobs_to_ffs_instance",
+    "job_lower_bound",
+    "job_port_bound",
+    "johnson_order",
+    "mean_optimality_gap",
+    "optimality_gaps",
+    "optimal_total_jct",
+    "permutation_completion_times",
+    "schedule_by_order",
+    "single_stage_instance",
+    "smallest_max_work_first",
+    "total_completion_time",
+]

@@ -1,0 +1,98 @@
+"""Concurrent Open Shop (COSP) — the reduction the paper argues *against*.
+
+Early coflow work reduces coflow scheduling to COSP (Gonzales & Sahni
+1976): jobs have per-machine work, machines process work in any order, and
+a job completes when all its components do.  The paper's §III.A objection:
+COSP permits a flow to be "processed at the receiver before the sender",
+an order impossible in a network, which is why Gurita reduces to FFS-MJ
+instead.
+
+This module implements COSP plus the classic SRPT-style heuristic so tests
+can demonstrate both the reduction and the ordering artefact: a COSP
+schedule may differ from any network-feasible (flow-shop) schedule on the
+same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CospJob:
+    """A job with independent work per machine (no ordering constraint)."""
+
+    job_id: int
+    work_per_machine: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.work_per_machine:
+            raise ReproError(f"job {self.job_id} needs work on >= 1 machine")
+        if any(w < 0 for w in self.work_per_machine):
+            raise ReproError(f"job {self.job_id} has negative work")
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.work_per_machine)
+
+    @property
+    def max_work(self) -> float:
+        return max(self.work_per_machine)
+
+
+def permutation_completion_times(
+    jobs: Sequence[CospJob], order: Sequence[int]
+) -> Dict[int, float]:
+    """Per-job completion under a permutation schedule.
+
+    In COSP, permutation schedules are dominant for minimising total
+    completion time: every machine processes jobs in the same order, and
+    job j completes when its slowest machine finishes its work.
+    """
+    by_id = {job.job_id: job for job in jobs}
+    if sorted(order) != sorted(by_id):
+        raise ReproError("order must be a permutation of the job ids")
+    num_machines = len(next(iter(by_id.values())).work_per_machine)
+    if any(len(j.work_per_machine) != num_machines for j in by_id.values()):
+        raise ReproError("all jobs must specify work on the same machines")
+    machine_time = [0.0] * num_machines
+    completion: Dict[int, float] = {}
+    for job_id in order:
+        job = by_id[job_id]
+        finish = 0.0
+        for machine, work in enumerate(job.work_per_machine):
+            machine_time[machine] += work
+            finish = max(finish, machine_time[machine])
+        completion[job_id] = finish
+    return completion
+
+
+def total_completion_time(jobs: Sequence[CospJob], order: Sequence[int]) -> float:
+    """Sum of completion times under a permutation order."""
+    return sum(permutation_completion_times(jobs, order).values())
+
+
+def smallest_max_work_first(jobs: Sequence[CospJob]) -> List[int]:
+    """The Varys-style SEBF analogue for COSP: ascending bottleneck work."""
+    return [
+        job.job_id
+        for job in sorted(jobs, key=lambda j: (j.max_work, j.job_id))
+    ]
+
+
+def brute_force_best_order(jobs: Sequence[CospJob]) -> Tuple[Tuple[int, ...], float]:
+    """Exhaustive best permutation (small instances only)."""
+    import itertools
+
+    if len(jobs) > 8:
+        raise ReproError("brute force limited to 8 jobs")
+    best_order: Tuple[int, ...] = ()
+    best_value = float("inf")
+    for order in itertools.permutations(j.job_id for j in jobs):
+        value = total_completion_time(jobs, order)
+        if value < best_value - 1e-12:
+            best_order, best_value = order, value
+    return best_order, best_value

@@ -1,0 +1,179 @@
+"""FFS-MJ: the Flexible Flow Shop with Multi-stage Jobs problem (§III.B).
+
+The paper's formal model of multi-stage job scheduling: jobs are sets of
+coflows with DAG precedence; a coflow is a set of parallel *operations*
+(one per flow); each operation runs on one machine of its layer; machines
+process one operation at a time; the objective is minimum total (sum of)
+job completion times.
+
+This module gives the problem a concrete, discrete form — used by the
+exact solver (:mod:`repro.theory.exact`) to certify near-optimality on
+small instances and by tests to pin down the paper's worked examples.
+Machines here are unit-rate and *preemptive at unit granularity*, matching
+how the paper's motivating examples (Figures 2 and 4) count time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidJobError
+
+
+@dataclass(frozen=True)
+class FfsOperation:
+    """One unit of parallel work of a coflow: ``duration`` on some machine
+    of layer ``layer``."""
+
+    duration: float
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise InvalidJobError("operation duration must be positive")
+        if self.layer < 0:
+            raise InvalidJobError("layer must be >= 0")
+
+
+@dataclass(frozen=True)
+class FfsCoflow:
+    """A coflow: parallel operations plus intra-job dependencies."""
+
+    coflow_id: int
+    operations: Tuple[FfsOperation, ...]
+    depends_on: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise InvalidJobError(f"coflow {self.coflow_id} has no operations")
+
+    @property
+    def work(self) -> float:
+        return sum(op.duration for op in self.operations)
+
+    @property
+    def span(self) -> float:
+        """Time to finish all operations with unlimited machines."""
+        return max(op.duration for op in self.operations)
+
+
+@dataclass(frozen=True)
+class FfsJob:
+    """A job: coflows with dependencies forming a DAG.
+
+    ``release_time`` is when the job enters the system; completion times
+    are measured relative to it (the JCT convention of the paper's worked
+    examples, where jobs arrive at different instants).
+    """
+
+    job_id: int
+    coflows: Tuple[FfsCoflow, ...]
+    release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.release_time < 0:
+            raise InvalidJobError(f"job {self.job_id}: negative release time")
+        ids = {c.coflow_id for c in self.coflows}
+        if len(ids) != len(self.coflows):
+            raise InvalidJobError(f"job {self.job_id}: duplicate coflow ids")
+        for coflow in self.coflows:
+            for dep in coflow.depends_on:
+                if dep not in ids:
+                    raise InvalidJobError(
+                        f"job {self.job_id}: coflow {coflow.coflow_id} depends "
+                        f"on unknown coflow {dep}"
+                    )
+
+    @property
+    def total_work(self) -> float:
+        return sum(c.work for c in self.coflows)
+
+
+@dataclass
+class FfsInstance:
+    """An FFS-MJ instance: jobs + machines per layer."""
+
+    jobs: Tuple[FfsJob, ...]
+    machines_per_layer: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        layers = {
+            op.layer for job in self.jobs for c in job.coflows for op in c.operations
+        }
+        for layer in layers:
+            count = self.machines_per_layer.get(layer, 1)
+            if count < 1:
+                raise InvalidJobError(f"layer {layer} needs >= 1 machine")
+            self.machines_per_layer[layer] = count
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+
+def single_stage_instance(
+    job_sizes: Sequence[Sequence[float]],
+    machines: int = 1,
+) -> FfsInstance:
+    """Instance where job ``i`` is one coflow with the given durations.
+
+    Handy for encoding the paper's Figure-4 blocking example.
+    """
+    jobs = tuple(
+        FfsJob(
+            job_id=i,
+            coflows=(
+                FfsCoflow(
+                    coflow_id=0,
+                    operations=tuple(FfsOperation(d) for d in sizes),
+                ),
+            ),
+        )
+        for i, sizes in enumerate(job_sizes)
+    )
+    return FfsInstance(jobs=jobs, machines_per_layer={0: machines})
+
+
+def chain_instance(
+    stage_sizes_per_job: Sequence[Sequence[float]],
+    machines: int = 1,
+    release_times: Sequence[float] = None,
+    layers_per_job: Sequence[Sequence[int]] = None,
+) -> FfsInstance:
+    """Instance where job ``i`` is a chain of single-operation coflows.
+
+    Encodes the paper's Figure-2 motivation example: job A transmits
+    10, 1, 1, 1 units over four dependent stages; jobs B, C, D transmit 2
+    units each in one stage.  ``release_times`` staggers job arrivals;
+    ``layers_per_job`` places each stage's operation on a specific machine
+    layer (default: everything on layer 0).
+    """
+    jobs = []
+    for job_id, stage_sizes in enumerate(stage_sizes_per_job):
+        coflows = []
+        for idx, size in enumerate(stage_sizes):
+            layer = (
+                layers_per_job[job_id][idx] if layers_per_job is not None else 0
+            )
+            coflows.append(
+                FfsCoflow(
+                    coflow_id=idx,
+                    operations=(FfsOperation(size, layer=layer),),
+                    depends_on=(idx - 1,) if idx > 0 else (),
+                )
+            )
+        release = release_times[job_id] if release_times is not None else 0.0
+        jobs.append(
+            FfsJob(job_id=job_id, coflows=tuple(coflows), release_time=release)
+        )
+    layers = {
+        op.layer
+        for job in jobs
+        for coflow in job.coflows
+        for op in coflow.operations
+    }
+    return FfsInstance(
+        jobs=tuple(jobs),
+        machines_per_layer={layer: machines for layer in layers},
+    )

@@ -1,0 +1,107 @@
+"""Lower bounds on job completion time — anchoring "near optimal".
+
+No scheduler can deliver a job faster than the network physically allows.
+Two bounds are computed per job:
+
+* **critical-path bound** — along every leaf-to-root path of the coflow
+  DAG, stages run serially; each stage needs at least
+  ``max(l_max / link_rate, port load / link_rate)`` where the port load is
+  the most bytes any single NIC must move for that coflow.  The job needs
+  at least the heaviest path.
+* **port bound** — across the whole job, some NIC must carry all bytes the
+  job sends/receives through it; that volume over the line rate bounds the
+  JCT from below (even with perfect pipelining this traffic shares one
+  port).
+
+The benches report measured JCT against these bounds; a schedule close to
+the bound is close to optimal regardless of what any other policy does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Sequence
+
+from repro.jobs.coflow import Coflow
+from repro.jobs.job import Job
+from repro.jobs.paths import critical_path
+from repro.simulator.runtime import SimulationResult
+
+
+def coflow_service_bound(coflow: Coflow, link_rate: float) -> float:
+    """Minimum time to drain one coflow at NIC line rate.
+
+    The slowest of: the largest single flow, the most-loaded sender port,
+    and the most-loaded receiver port.
+    """
+    if link_rate <= 0:
+        raise ValueError("link_rate must be positive")
+    out_bytes: Dict[int, float] = defaultdict(float)
+    in_bytes: Dict[int, float] = defaultdict(float)
+    largest = 0.0
+    for flow in coflow.flows:
+        out_bytes[flow.src] += flow.size_bytes
+        in_bytes[flow.dst] += flow.size_bytes
+        largest = max(largest, flow.size_bytes)
+    port_load = max(
+        max(out_bytes.values(), default=0.0),
+        max(in_bytes.values(), default=0.0),
+    )
+    return max(largest, port_load) / link_rate
+
+
+def job_critical_path_bound(job: Job, link_rate: float) -> float:
+    """Serial service time of the heaviest dependency path."""
+    def cost(coflow_id: int) -> float:
+        return coflow_service_bound(job.coflow(coflow_id), link_rate)
+
+    _path, bound = critical_path(job.dag, cost)
+    return bound
+
+
+def job_port_bound(job: Job, link_rate: float) -> float:
+    """The most bytes any one NIC moves for this job, at line rate."""
+    if link_rate <= 0:
+        raise ValueError("link_rate must be positive")
+    out_bytes: Dict[int, float] = defaultdict(float)
+    in_bytes: Dict[int, float] = defaultdict(float)
+    for coflow in job.coflows:
+        for flow in coflow.flows:
+            out_bytes[flow.src] += flow.size_bytes
+            in_bytes[flow.dst] += flow.size_bytes
+    port_load = max(
+        max(out_bytes.values(), default=0.0),
+        max(in_bytes.values(), default=0.0),
+    )
+    return port_load / link_rate
+
+
+def job_lower_bound(job: Job, link_rate: float) -> float:
+    """The tighter of the critical-path and port bounds."""
+    return max(
+        job_critical_path_bound(job, link_rate),
+        job_port_bound(job, link_rate),
+    )
+
+
+def optimality_gaps(
+    result: SimulationResult, link_rate: float
+) -> Dict[int, float]:
+    """Measured JCT / lower bound per completed job (>= 1; 1 = optimal)."""
+    gaps: Dict[int, float] = {}
+    for job in result.jobs:
+        jct = job.completion_time()
+        if jct is None:
+            continue
+        bound = job_lower_bound(job, link_rate)
+        if bound > 0:
+            gaps[job.job_id] = jct / bound
+    return gaps
+
+
+def mean_optimality_gap(result: SimulationResult, link_rate: float) -> float:
+    """Average measured/bound ratio across completed jobs."""
+    gaps = list(optimality_gaps(result, link_rate).values())
+    if not gaps:
+        raise ValueError("no completed jobs with positive lower bounds")
+    return sum(gaps) / len(gaps)

@@ -1,0 +1,116 @@
+"""The paper's reduction: multi-stage job scheduling → FFS-MJ (§III.B).
+
+Converts the simulator's :class:`~repro.jobs.job.Job` objects into
+:class:`~repro.theory.ffs.FfsInstance` form:
+
+* each flow becomes an *operation* whose duration is its bytes over the
+  machine processing rate;
+* sender and receiver NICs become the machine layers — conceptually
+  "machines in the i-th and (i-1)-th layer can be viewed as receivers and
+  senders respectively in the big switch abstraction";
+* coflow dependencies carry over unchanged.
+
+Two layer models are offered: ``"receiver"`` (one FFS layer per receiver
+NIC — the bottleneck the paper's big-switch analysis cares about) and
+``"single"`` (one shared layer, the coarsest relaxation).  Small reduced
+instances can then be brute-forced (:mod:`repro.theory.exact`) to compare
+a simulated schedule against the combinatorial optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.jobs.job import Job
+from repro.theory.exact import Schedule, brute_force_best
+from repro.theory.ffs import FfsCoflow, FfsInstance, FfsJob, FfsOperation
+
+#: Supported machine-layer models.
+LAYER_MODELS = ("receiver", "single")
+
+
+def job_to_ffs(
+    job: Job,
+    processing_rate: float,
+    layer_of_host: Dict[int, int],
+    layer_model: str = "receiver",
+) -> FfsJob:
+    """Reduce one multi-stage job to an FFS-MJ job.
+
+    ``layer_of_host`` maps receiver hosts to machine-layer indices and is
+    extended in place so multiple jobs share a consistent layer space.
+    """
+    if processing_rate <= 0:
+        raise ReproError("processing_rate must be positive")
+    if layer_model not in LAYER_MODELS:
+        raise ReproError(f"layer_model must be one of {LAYER_MODELS}")
+    # Remap coflow ids to a job-local dense space.
+    local_ids = {cid: i for i, cid in enumerate(job.dag.topological_order())}
+    coflows: List[FfsCoflow] = []
+    for coflow_id in job.dag.topological_order():
+        coflow = job.coflow(coflow_id)
+        operations = []
+        for flow in coflow.flows:
+            if layer_model == "single":
+                layer = 0
+            else:
+                layer = layer_of_host.setdefault(flow.dst, len(layer_of_host))
+            operations.append(
+                FfsOperation(
+                    duration=flow.size_bytes / processing_rate, layer=layer
+                )
+            )
+        depends = tuple(
+            local_ids[dep] for dep in sorted(job.dag.dependencies_of(coflow_id))
+        )
+        coflows.append(
+            FfsCoflow(
+                coflow_id=local_ids[coflow_id],
+                operations=tuple(operations),
+                depends_on=depends,
+            )
+        )
+    return FfsJob(
+        job_id=job.job_id,
+        coflows=tuple(coflows),
+        release_time=job.arrival_time,
+    )
+
+
+def jobs_to_ffs_instance(
+    jobs: Sequence[Job],
+    processing_rate: float,
+    layer_model: str = "receiver",
+    machines_per_layer: int = 1,
+) -> FfsInstance:
+    """Reduce a whole workload to one FFS-MJ instance."""
+    if not jobs:
+        raise ReproError("need at least one job")
+    layer_of_host: Dict[int, int] = {}
+    ffs_jobs = tuple(
+        job_to_ffs(job, processing_rate, layer_of_host, layer_model)
+        for job in jobs
+    )
+    layers = (
+        {0} if layer_model == "single" else set(layer_of_host.values()) or {0}
+    )
+    return FfsInstance(
+        jobs=ffs_jobs,
+        machines_per_layer={layer: machines_per_layer for layer in layers},
+    )
+
+
+def optimal_total_jct(
+    jobs: Sequence[Job],
+    processing_rate: float,
+    layer_model: str = "receiver",
+) -> Tuple[Schedule, FfsInstance]:
+    """Brute-force the reduced instance (small workloads only).
+
+    Returns the optimal priority-order schedule and the instance, so a
+    simulated outcome can be compared against the combinatorial optimum
+    of its own reduction.
+    """
+    instance = jobs_to_ffs_instance(jobs, processing_rate, layer_model)
+    return brute_force_best(instance), instance

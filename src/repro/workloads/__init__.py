@@ -1,0 +1,95 @@
+"""Workloads: Table-1 categories, trace tooling, DAG structures, arrivals."""
+
+from repro.workloads.bursty import (
+    BURST_INTERVAL,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.categories import (
+    CATEGORY_LABELS,
+    NUM_CATEGORIES,
+    category_bounds,
+    category_label,
+    category_of,
+    group_by_category,
+)
+from repro.workloads.fbtao import tao_shape, tao_volumes
+from repro.workloads.fbtrace import (
+    FB_TRACE_DURATION,
+    FB_TRACE_MACHINES,
+    TraceCoflow,
+    parse_trace,
+    synthesize_trace,
+    write_trace,
+)
+from repro.workloads.generator import (
+    STRUCTURES,
+    jobs_from_trace,
+    remap_specs,
+    replicate_coflow,
+    synthesize_workload,
+)
+from repro.workloads.shapes import (
+    DagShape,
+    chain,
+    inverted_v,
+    multi_root,
+    parallel_chains,
+    sample_production_shape,
+    single,
+    tree,
+    w_shape,
+)
+from repro.workloads.stats import (
+    Distribution,
+    TraceStats,
+    WorkloadStats,
+    format_trace_stats,
+    trace_stats,
+    workload_stats,
+)
+from repro.workloads.tpcds import query42_shape, query42_volumes
+
+__all__ = [
+    "BURST_INTERVAL",
+    "CATEGORY_LABELS",
+    "DagShape",
+    "Distribution",
+    "TraceStats",
+    "WorkloadStats",
+    "FB_TRACE_DURATION",
+    "FB_TRACE_MACHINES",
+    "NUM_CATEGORIES",
+    "STRUCTURES",
+    "TraceCoflow",
+    "bursty_arrivals",
+    "category_bounds",
+    "category_label",
+    "category_of",
+    "chain",
+    "group_by_category",
+    "inverted_v",
+    "jobs_from_trace",
+    "multi_root",
+    "parallel_chains",
+    "parse_trace",
+    "poisson_arrivals",
+    "query42_shape",
+    "query42_volumes",
+    "remap_specs",
+    "replicate_coflow",
+    "sample_production_shape",
+    "single",
+    "synthesize_trace",
+    "synthesize_workload",
+    "tao_shape",
+    "tao_volumes",
+    "tree",
+    "trace_stats",
+    "format_trace_stats",
+    "workload_stats",
+    "uniform_arrivals",
+    "w_shape",
+    "write_trace",
+]

@@ -1,0 +1,74 @@
+"""Table 1 of the paper: seven categories of multi-stage job size.
+
+=====  ===============
+ I      6 MB – 80 MB
+ II     81 MB – 800 MB
+ III    801 MB – 8 GB
+ IV     8 GB – 10 GB
+ V      10 GB – 100 GB
+ VI     100 GB – 1 TB
+ VII    > 1 TB
+=====  ===============
+
+Categories are indexed 1..7 and keyed on a job's total bytes sent across
+all stages.  Jobs below 6 MB fall into category I (the table's floor is the
+smallest job in the Facebook trace).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Tuple
+
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+#: Upper bound of categories I..VI; VII is unbounded.
+CATEGORY_UPPER_BOUNDS: Tuple[float, ...] = (
+    80 * MB,
+    800 * MB,
+    8 * GB,
+    10 * GB,
+    100 * GB,
+    1 * TB,
+)
+
+CATEGORY_LABELS: Tuple[str, ...] = ("I", "II", "III", "IV", "V", "VI", "VII")
+
+NUM_CATEGORIES = len(CATEGORY_LABELS)
+
+
+def category_of(total_bytes: float) -> int:
+    """Category (1..7) for a job's total bytes sent."""
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be non-negative, got {total_bytes}")
+    return bisect_left(CATEGORY_UPPER_BOUNDS, total_bytes) + 1
+
+
+def category_label(category: int) -> str:
+    """Roman-numeral label of a category index (1..7)."""
+    if not 1 <= category <= NUM_CATEGORIES:
+        raise ValueError(f"category must be in 1..{NUM_CATEGORIES}, got {category}")
+    return CATEGORY_LABELS[category - 1]
+
+
+def category_bounds(category: int) -> Tuple[float, float]:
+    """(inclusive lower, exclusive upper) byte bounds; VII's upper is inf."""
+    if not 1 <= category <= NUM_CATEGORIES:
+        raise ValueError(f"category must be in 1..{NUM_CATEGORIES}, got {category}")
+    lower = 0.0 if category == 1 else CATEGORY_UPPER_BOUNDS[category - 2]
+    upper = (
+        float("inf")
+        if category == NUM_CATEGORIES
+        else CATEGORY_UPPER_BOUNDS[category - 1]
+    )
+    return lower, upper
+
+
+def group_by_category(total_bytes: Iterable[Tuple[int, float]]) -> Dict[int, List[int]]:
+    """Group (job_id, total_bytes) pairs into {category: [job ids]}."""
+    groups: Dict[int, List[int]] = {}
+    for job_id, size in total_bytes:
+        groups.setdefault(category_of(size), []).append(job_id)
+    return groups

@@ -1,0 +1,66 @@
+"""Facebook TAO job structure (Bronson et al., USENIX ATC 2013).
+
+TAO serves the social graph with massive read fan-out: a request expands
+into many parallel association-list fetches whose results are merged, with
+a short dependency depth but great width.  The paper uses "FB-Tao
+structure" as its second DAG template: wide parallel chains funnelling
+into a small merge stage — an inverted-tree / multi-parallel-chain hybrid
+that is *on-and-off* by construction (wide early stages, tiny late ones).
+
+The default template has ``fanout`` parallel two-deep chains merging into
+one aggregation coflow and a final response coflow (depth 4)::
+
+    fetch_1a -> fetch_1b \\
+    fetch_2a -> fetch_2b  +--> merge --> respond
+    fetch_3a -> fetch_3b /
+
+Early fetch stages carry nearly all the bytes; the merge and response
+stages are small — the shape that TBS schedulers punish and Gurita's
+per-stage blocking effect rewards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.shapes import DagShape
+
+#: Default number of parallel fetch chains.
+DEFAULT_FANOUT = 3
+
+#: Bytes fraction carried by (fetch_a, fetch_b, merge, respond) stages.
+STAGE_WEIGHTS: Tuple[float, float, float, float] = (0.60, 0.30, 0.08, 0.02)
+
+
+def tao_shape(fanout: int = DEFAULT_FANOUT) -> DagShape:
+    """The TAO DAG: ``fanout`` 2-chains -> merge -> respond.
+
+    Node layout: respond=0, merge=1, then per chain c:
+    fetch_b = 2 + 2c (feeds merge), fetch_a = 3 + 2c (feeds fetch_b).
+    """
+    if fanout < 1:
+        raise WorkloadError("TAO fanout must be >= 1")
+    edges: List[Tuple[int, int]] = [(1, 0)]  # merge feeds respond
+    for c in range(fanout):
+        fetch_b = 2 + 2 * c
+        fetch_a = 3 + 2 * c
+        edges.append((fetch_b, 1))
+        edges.append((fetch_a, fetch_b))
+    return DagShape(name=f"fb-tao-{fanout}", num_nodes=2 + 2 * fanout, edges=tuple(edges))
+
+
+def tao_volumes(total_bytes: float, fanout: int = DEFAULT_FANOUT) -> List[float]:
+    """Split a job's total bytes over the TAO DAG's nodes.
+
+    The first fetch wave gets 60% of the bytes, the second 30% (split
+    evenly across chains); merge and respond get the small remainder.
+    """
+    if fanout < 1:
+        raise WorkloadError("TAO fanout must be >= 1")
+    wave_a, wave_b, merge, respond = STAGE_WEIGHTS
+    volumes = [total_bytes * respond, total_bytes * merge]
+    for _chain in range(fanout):
+        volumes.append(total_bytes * wave_b / fanout)  # fetch_b
+        volumes.append(total_bytes * wave_a / fanout)  # fetch_a
+    return volumes

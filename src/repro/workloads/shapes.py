@@ -1,0 +1,164 @@
+"""Job-structure shapes observed in production (paper §II, after Graphene).
+
+Microsoft's production study reports jobs shaped as chains, trees (~40% of
+jobs), "W" shapes, inverted "V" shapes, and more complex multi-root DAGs,
+with an average depth of five stages and tails beyond ten.  A shape here is
+an abstract DAG over node indices ``0..n-1`` with edges ``(u, v)`` meaning
+*v depends on u*; workload generators instantiate each node with a coflow
+replicated from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import random
+
+from repro.errors import WorkloadError
+
+#: Average job depth in production (paper §II).
+PRODUCTION_MEAN_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class DagShape:
+    """An abstract dependency shape: node count + (u, v) dependency edges."""
+
+    name: str
+    num_nodes: int
+    edges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                raise WorkloadError(f"shape {self.name}: edge ({u},{v}) out of range")
+
+
+def chain(depth: int) -> DagShape:
+    """A linear pipeline: stage i feeds stage i+1."""
+    if depth < 1:
+        raise WorkloadError("chain depth must be >= 1")
+    return DagShape(
+        name=f"chain-{depth}",
+        num_nodes=depth,
+        edges=tuple((i, i + 1) for i in range(depth - 1)),
+    )
+
+
+def tree(depth: int, branching: int = 2) -> DagShape:
+    """A reduction tree: ``branching^d`` leaves funnel into one root.
+
+    Nodes are laid out level by level from the root (node 0); leaves are
+    the deepest level and every child must complete before its parent.
+    """
+    if depth < 1 or branching < 1:
+        raise WorkloadError("tree needs depth >= 1 and branching >= 1")
+    edges: List[Tuple[int, int]] = []
+    level_start = 0
+    level_size = 1
+    total = 1
+    for _level in range(depth - 1):
+        next_start = level_start + level_size
+        next_size = level_size * branching
+        for parent_offset in range(level_size):
+            parent = level_start + parent_offset
+            for child_offset in range(branching):
+                child = next_start + parent_offset * branching + child_offset
+                edges.append((child, parent))
+        level_start, level_size = next_start, next_size
+        total += next_size
+    return DagShape(name=f"tree-{depth}x{branching}", num_nodes=total, edges=tuple(edges))
+
+
+def w_shape() -> DagShape:
+    """The "W" shape: two roots each aggregating two leaves, sharing one.
+
+    Leaves 2, 3, 4; roots 0 and 1; leaf 3 feeds both roots — drawn out it
+    traces a W.
+    """
+    return DagShape(
+        name="w",
+        num_nodes=5,
+        edges=((2, 0), (3, 0), (3, 1), (4, 1)),
+    )
+
+
+def inverted_v(fanout: int = 2) -> DagShape:
+    """Inverted "V": one leaf feeding ``fanout`` independent roots."""
+    if fanout < 2:
+        raise WorkloadError("inverted V needs fanout >= 2")
+    return DagShape(
+        name=f"inverted-v-{fanout}",
+        num_nodes=fanout + 1,
+        edges=tuple((fanout, root) for root in range(fanout)),
+    )
+
+
+def parallel_chains(num_chains: int, depth: int) -> DagShape:
+    """Multiple independent chains merging into a single final stage.
+
+    Models the paper's "job with multiple parallel chain shape structure":
+    a stage of one chain can proceed as soon as *its* dependency finishes,
+    regardless of sibling chains.
+    """
+    if num_chains < 1 or depth < 1:
+        raise WorkloadError("parallel chains need num_chains >= 1 and depth >= 1")
+    # Node 0 is the merge root; chain c occupies nodes 1+c*depth .. c*depth+depth.
+    edges: List[Tuple[int, int]] = []
+    for c in range(num_chains):
+        base = 1 + c * depth
+        for i in range(depth - 1):
+            edges.append((base + i + 1, base + i))  # deeper feeds shallower
+        edges.append((base, 0))
+    return DagShape(
+        name=f"parallel-{num_chains}x{depth}",
+        num_nodes=1 + num_chains * depth,
+        edges=tuple(edges),
+    )
+
+
+def multi_root(num_roots: int = 2, num_leaves: int = 3) -> DagShape:
+    """A complex multi-output shape: shared leaves feeding several roots."""
+    if num_roots < 2 or num_leaves < 2:
+        raise WorkloadError("multi_root needs >= 2 roots and >= 2 leaves")
+    edges: List[Tuple[int, int]] = []
+    mid = num_roots  # one intermediate node
+    leaves_start = num_roots + 1
+    for leaf in range(leaves_start, leaves_start + num_leaves):
+        edges.append((leaf, mid))
+    for root in range(num_roots):
+        edges.append((mid, root))
+        # each root also takes one raw leaf directly
+        edges.append((leaves_start + root % num_leaves, root))
+    return DagShape(
+        name=f"multiroot-{num_roots}r{num_leaves}l",
+        num_nodes=num_roots + 1 + num_leaves,
+        edges=tuple(edges),
+    )
+
+
+def single() -> DagShape:
+    """A single-stage job (one coflow) — the classic coflow setting."""
+    return DagShape(name="single", num_nodes=1, edges=())
+
+
+def sample_production_shape(rng: random.Random) -> DagShape:
+    """Draw a shape following the production mix the paper cites.
+
+    ~40% trees; the rest split across chains, W, inverted-V, parallel
+    chains, and multi-root shapes, with depths centred on five stages.
+    """
+    roll = rng.random()
+    if roll < 0.40:
+        depth = rng.choice([2, 3, 3, 4])
+        return tree(depth=depth, branching=rng.choice([2, 2, 3]))
+    if roll < 0.60:
+        return chain(depth=rng.choice([3, 4, 5, 6, 7]))
+    if roll < 0.72:
+        return w_shape()
+    if roll < 0.84:
+        return inverted_v(fanout=rng.choice([2, 3]))
+    if roll < 0.94:
+        return parallel_chains(num_chains=rng.choice([2, 3]), depth=rng.choice([2, 3]))
+    return multi_root(num_roots=2, num_leaves=rng.choice([2, 3]))

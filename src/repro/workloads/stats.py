@@ -1,0 +1,145 @@
+"""Descriptive statistics over traces and workloads.
+
+Used by the trace tooling example and the workload-validation benches to
+characterise what a (real or synthetic) trace looks like: size and width
+distributions, Table-1 category census, per-stage byte profile of jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.jobs.job import Job
+from repro.workloads.categories import category_of
+from repro.workloads.fbtrace import TraceCoflow
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "Distribution":
+        if not values:
+            raise ValueError("no samples")
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return ordered[min(n - 1, int(q * n))]
+
+        return Distribution(
+            count=n,
+            minimum=ordered[0],
+            median=pct(0.5),
+            p90=pct(0.9),
+            p99=pct(0.99),
+            maximum=ordered[-1],
+            mean=sum(ordered) / n,
+        )
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Shape of a coflow trace."""
+
+    sizes: Distribution  #: bytes per coflow
+    widths: Distribution  #: flows per coflow (mappers x reducers)
+    category_census: Dict[int, int]
+    bytes_share_top_decile: float  #: fraction of bytes in the top 10% coflows
+
+
+def trace_stats(trace: Sequence[TraceCoflow]) -> TraceStats:
+    """Summarise a trace's marginals."""
+    if not trace:
+        raise ValueError("empty trace")
+    sizes = [c.total_bytes for c in trace]
+    widths = [float(c.num_flows) for c in trace]
+    census: Dict[int, int] = {}
+    for coflow in trace:
+        category = category_of(coflow.total_bytes)
+        census[category] = census.get(category, 0) + 1
+    ordered = sorted(sizes, reverse=True)
+    top = ordered[: max(1, len(ordered) // 10)]
+    share = sum(top) / sum(sizes)
+    return TraceStats(
+        sizes=Distribution.from_values(sizes),
+        widths=Distribution.from_values(widths),
+        category_census=census,
+        bytes_share_top_decile=share,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Shape of a structured (multi-stage) workload."""
+
+    num_jobs: int
+    stage_depths: Distribution
+    coflows_per_job: Distribution
+    flows_per_job: Distribution
+    job_sizes: Distribution
+    category_census: Dict[int, int]
+    stage_byte_profile: List[float]  #: mean fraction of job bytes per stage
+
+
+def workload_stats(jobs: Sequence[Job]) -> WorkloadStats:
+    """Summarise a structured workload's shape."""
+    if not jobs:
+        raise ValueError("no jobs")
+    depths = [float(job.num_stages) for job in jobs]
+    coflows = [float(len(job.coflows)) for job in jobs]
+    flows = [float(sum(len(c.flows) for c in job.coflows)) for job in jobs]
+    sizes = [job.total_bytes for job in jobs]
+    census: Dict[int, int] = {}
+    for job in jobs:
+        category = category_of(job.total_bytes)
+        census[category] = census.get(category, 0) + 1
+    max_depth = int(max(depths))
+    shares = [0.0] * max_depth
+    for job in jobs:
+        total = job.total_bytes
+        if total <= 0:
+            continue
+        for stage in range(1, job.num_stages + 1):
+            shares[stage - 1] += job.stage_bytes(stage) / total
+    profile = [share / len(jobs) for share in shares]
+    return WorkloadStats(
+        num_jobs=len(jobs),
+        stage_depths=Distribution.from_values(depths),
+        coflows_per_job=Distribution.from_values(coflows),
+        flows_per_job=Distribution.from_values(flows),
+        job_sizes=Distribution.from_values(sizes),
+        category_census=census,
+        stage_byte_profile=profile,
+    )
+
+
+def format_trace_stats(stats: TraceStats) -> str:
+    """Human-readable trace summary."""
+    lines = [
+        f"coflows: {stats.sizes.count}",
+        (
+            "size bytes: "
+            f"median {stats.sizes.median:.3g}, p90 {stats.sizes.p90:.3g}, "
+            f"p99 {stats.sizes.p99:.3g}, max {stats.sizes.maximum:.3g}"
+        ),
+        (
+            "width flows: "
+            f"median {stats.widths.median:.0f}, p90 {stats.widths.p90:.0f}, "
+            f"max {stats.widths.maximum:.0f}"
+        ),
+        f"top-decile byte share: {stats.bytes_share_top_decile:.1%}",
+        "category census: "
+        + ", ".join(f"{cat}:{count}" for cat, count in sorted(stats.category_census.items())),
+    ]
+    return "\n".join(lines)

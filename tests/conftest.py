@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs import IdAllocator, JobBuilder
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+
+
+@pytest.fixture
+def ids():
+    """A fresh id allocator per test."""
+    return IdAllocator()
+
+
+@pytest.fixture
+def small_fabric():
+    """A 6-host big-switch fabric with unit-friendly 1 GB/s links."""
+    return BigSwitchTopology(num_hosts=6, link_capacity=1e9)
+
+
+@pytest.fixture
+def diamond_job(ids):
+    """A 4-coflow diamond: leaf -> (left, right) -> root, hosts 0..3."""
+    builder = JobBuilder(arrival_time=0.0, ids=ids)
+    leaf = builder.add_coflow([(0, 1, 100.0)])
+    left = builder.add_coflow([(1, 2, 50.0)], depends_on=[leaf])
+    right = builder.add_coflow([(1, 3, 75.0)], depends_on=[leaf])
+    root = builder.add_coflow([(2, 3, 25.0)], depends_on=[left, right])
+    job = builder.build()
+    job.coflow_ids = {"leaf": leaf, "left": left, "right": right, "root": root}
+    return job

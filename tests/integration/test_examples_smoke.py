@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+The goal is API coverage.  The two multi-minute examples only run when
+``REPRO_RUN_SLOW=1`` is set (they are exercised by the benchmark suite's
+figures anyway).
+"""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="set REPRO_RUN_SLOW=1 to run multi-minute example smoke tests",
+)
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Gurita improves average JCT" in out
+
+
+def test_analytics_pipeline_runs(capsys):
+    run_example("analytics_pipeline.py")
+    out = capsys.readouterr().out
+    assert "Query completion time" in out
+    assert "stage 5" in out
+
+
+@slow
+def test_custom_scheduler_runs(capsys):
+    run_example("custom_scheduler.py")
+    out = capsys.readouterr().out
+    assert "sebf-lite" in out
+
+
+def test_trace_tools_runs(capsys, tmp_path):
+    run_example("trace_tools.py")
+    out = capsys.readouterr().out
+    assert "Replaying" in out
+    assert "average JCT" in out
+
+
+@slow
+def test_bursty_datacenter_runs(capsys):
+    run_example("bursty_datacenter.py")
+    out = capsys.readouterr().out
+    assert "Improvement of Gurita" in out

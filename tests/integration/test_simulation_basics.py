@@ -1,0 +1,127 @@
+"""Integration tests: the runtime against hand-computed scenarios.
+
+These use the big-switch fabric with 1 GB/s links so exact completion
+times can be derived by hand.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.jobs import IdAllocator, chain_job, single_stage_job
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.simulator.runtime import CoflowSimulation, simulate
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+
+GB = 1e9
+
+
+def topo(hosts=6):
+    return BigSwitchTopology(num_hosts=hosts, link_capacity=1.0 * GB)
+
+
+class TestSingleFlow:
+    def test_lone_flow_runs_at_line_rate(self, ids):
+        job = single_stage_job([(0, 1, 2.0 * GB)], ids=ids)
+        result = simulate(topo(), PerFlowFairSharing(), [job])
+        assert result.average_jct() == pytest.approx(2.0, rel=1e-6)
+
+    def test_arrival_time_offsets_completion(self, ids):
+        job = single_stage_job([(0, 1, 1.0 * GB)], arrival_time=5.0, ids=ids)
+        result = simulate(topo(), PerFlowFairSharing(), [job])
+        assert result.jobs[0].finish_time == pytest.approx(6.0, rel=1e-6)
+        assert result.average_jct() == pytest.approx(1.0, rel=1e-6)
+
+
+class TestFairSharing:
+    def test_two_flows_same_uplink_split_capacity(self, ids):
+        # Both flows leave host 0: each gets 0.5 GB/s until the first ends.
+        job_a = single_stage_job([(0, 1, 1.0 * GB)], ids=ids)
+        job_b = single_stage_job([(0, 2, 1.0 * GB)], ids=ids)
+        result = simulate(topo(), PerFlowFairSharing(), [job_a, job_b])
+        # Identical flows: both finish at t=2.
+        for job in result.jobs:
+            assert job.completion_time() == pytest.approx(2.0, rel=1e-6)
+
+    def test_short_flow_releases_capacity(self, ids):
+        # Flow A: 3 GB, flow B: 1 GB sharing one uplink.
+        # Phase 1: both at 0.5 -> B done at t=2 (sent 1), A has 2 left.
+        # Phase 2: A alone at 1.0 -> done at t=4.
+        job_a = single_stage_job([(0, 1, 3.0 * GB)], ids=ids)
+        job_b = single_stage_job([(0, 2, 1.0 * GB)], ids=ids)
+        result = simulate(topo(), PerFlowFairSharing(), [job_a, job_b])
+        jcts = result.job_completion_times()
+        assert jcts[job_b.job_id] == pytest.approx(2.0, rel=1e-6)
+        assert jcts[job_a.job_id] == pytest.approx(4.0, rel=1e-6)
+
+    def test_receiver_side_bottleneck(self, ids):
+        # Two senders into one receiver NIC: split the downlink.
+        job = single_stage_job([(0, 2, 1.0 * GB), (1, 2, 1.0 * GB)], ids=ids)
+        result = simulate(topo(), PerFlowFairSharing(), [job])
+        assert result.average_jct() == pytest.approx(2.0, rel=1e-6)
+
+
+class TestMultiStage:
+    def test_chain_stages_run_serially(self, ids):
+        job = chain_job(
+            [[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)], [(2, 3, 1.0 * GB)]],
+            ids=ids,
+        )
+        result = simulate(topo(), PerFlowFairSharing(), [job])
+        assert result.average_jct() == pytest.approx(4.0, rel=1e-6)
+        stages = sorted(
+            (c.stage, c.release_time, c.finish_time) for c in job.coflows
+        )
+        # Each stage starts exactly when the previous finishes.
+        assert stages[0][1] == pytest.approx(0.0)
+        assert stages[1][1] == pytest.approx(stages[0][2], rel=1e-6)
+        assert stages[2][1] == pytest.approx(stages[1][2], rel=1e-6)
+
+    def test_diamond_waits_for_both_branches(self, diamond_job):
+        # Sizes: leaf 100, left 50, right 75, root 25 bytes (tiny).
+        result = simulate(
+            BigSwitchTopology(num_hosts=6, link_capacity=1.0), PerFlowFairSharing(), [diamond_job]
+        )
+        names = diamond_job.coflow_ids
+        root = diamond_job.coflow(names["root"])
+        right = diamond_job.coflow(names["right"])
+        assert root.release_time == pytest.approx(right.finish_time, rel=1e-6)
+
+    def test_parallel_branch_starts_without_sibling(self, ids):
+        # Two independent chains in one job: the fast chain's second stage
+        # must not wait for the slow chain.
+        from repro.jobs import JobBuilder
+
+        builder = JobBuilder(ids=ids)
+        fast_leaf = builder.add_coflow([(0, 1, 0.1 * GB)])
+        slow_leaf = builder.add_coflow([(2, 3, 10.0 * GB)])
+        fast_next = builder.add_coflow([(1, 4, 0.1 * GB)], depends_on=[fast_leaf])
+        job = builder.build()
+        result = simulate(topo(), PerFlowFairSharing(), [job])
+        next_coflow = job.coflow(fast_next)
+        assert next_coflow.release_time == pytest.approx(0.1, rel=1e-6)
+        assert next_coflow.release_time < job.coflow(slow_leaf).finish_time
+
+
+class TestRuntimeGuards:
+    def test_duplicate_job_ids_rejected(self, ids):
+        job = single_stage_job([(0, 1, 1.0)], ids=ids)
+        with pytest.raises(SimulationError):
+            CoflowSimulation(topo(), PerFlowFairSharing(), [job, job])
+
+    def test_needs_jobs(self):
+        with pytest.raises(SimulationError):
+            CoflowSimulation(topo(), PerFlowFairSharing(), [])
+
+    def test_host_out_of_topology_rejected(self, ids):
+        job = single_stage_job([(0, 99, 1.0)], ids=ids)
+        with pytest.raises(Exception):
+            CoflowSimulation(topo(), PerFlowFairSharing(), [job])
+
+    def test_until_stops_early(self, ids):
+        job = single_stage_job([(0, 1, 100.0 * GB)], ids=ids)
+        result = CoflowSimulation(topo(), PerFlowFairSharing(), [job]).run(
+            until=1.0
+        )
+        assert not result.all_done
+        with pytest.raises(SimulationError):
+            result.average_jct()

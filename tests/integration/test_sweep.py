@@ -1,0 +1,45 @@
+"""Integration tests for the parameter-sweep harness (tiny sizes)."""
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig
+from repro.experiments.sweep import (
+    SweepPoint,
+    sweep_burst_size,
+    sweep_num_jobs,
+    sweep_offered_load,
+)
+
+TINY = ScenarioConfig(num_jobs=5, fattree_k=4, seed=8)
+
+
+class TestSweeps:
+    def test_offered_load_sweep_shape(self):
+        sweep = sweep_offered_load((0.5, 2.0), base=TINY)
+        assert sweep.knob == "offered_load"
+        assert [p.value for p in sweep.points] == [0.5, 2.0]
+        assert len(sweep.series("pfs")) == 2
+        assert len(sweep.improvement_series("pfs")) == 2
+
+    def test_crossover_semantics(self):
+        sweep = sweep_offered_load((0.5,), base=TINY)
+        point = sweep.points[0]
+        expected = point.average_jcts["pfs"] / point.average_jcts["gurita"]
+        if expected > 1.0:
+            assert sweep.crossover("pfs") == 0.5
+        else:
+            assert sweep.crossover("pfs") == float("inf")
+
+    def test_burst_size_sweep(self):
+        sweep = sweep_burst_size((2, 5), base=TINY.with_overrides(arrival_mode="bursty"))
+        assert [p.value for p in sweep.points] == [2.0, 5.0]
+
+    def test_num_jobs_sweep(self):
+        sweep = sweep_num_jobs((3, 6), base=TINY)
+        assert [p.value for p in sweep.points] == [3.0, 6.0]
+        for point in sweep.points:
+            assert point.average_jcts["gurita"] > 0
+
+    def test_point_improvement(self):
+        point = SweepPoint(value=1.0, average_jcts={"pfs": 2.0, "gurita": 1.0})
+        assert point.improvement("pfs") == pytest.approx(2.0)

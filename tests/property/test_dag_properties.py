@@ -1,0 +1,87 @@
+"""Property-based tests for the DAG, stages, and critical paths."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jobs.dag import CoflowDag
+from repro.jobs.paths import critical_path, enumerate_paths
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAGs built from a random topological order (always acyclic)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=10))
+    nodes = list(range(num_nodes))
+    edges = []
+    for later in range(1, num_nodes):
+        num_deps = draw(st.integers(min_value=0, max_value=min(3, later)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=later - 1),
+                min_size=num_deps,
+                max_size=num_deps,
+                unique=True,
+            )
+        )
+        edges.extend((dep, later) for dep in deps)
+    return CoflowDag(nodes, edges)
+
+
+@given(random_dags())
+@settings(max_examples=200, deadline=None)
+def test_stage_exceeds_dependencies(dag):
+    """A coflow's stage is strictly deeper than all its dependencies'."""
+    for node in dag.coflow_ids:
+        for dep in dag.dependencies_of(node):
+            assert dag.stage_of(node) > dag.stage_of(dep)
+
+
+@given(random_dags())
+@settings(max_examples=200, deadline=None)
+def test_leaves_are_stage_one_and_stages_contiguous(dag):
+    for leaf in dag.leaves():
+        assert dag.stage_of(leaf) == 1
+    stages = {dag.stage_of(node) for node in dag.coflow_ids}
+    assert stages == set(range(1, dag.num_stages + 1))
+
+
+@given(random_dags())
+@settings(max_examples=200, deadline=None)
+def test_topological_order_is_valid(dag):
+    order = dag.topological_order()
+    assert sorted(order) == sorted(dag.coflow_ids)
+    position = {node: i for i, node in enumerate(order)}
+    for u, v in dag.edges():
+        assert position[u] < position[v]
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=100, deadline=None)
+def test_critical_path_dominates_all_paths(dag, seed):
+    rng = random.Random(seed)
+    costs = {node: rng.uniform(0.1, 10.0) for node in dag.coflow_ids}
+    path, total = critical_path(dag, costs.__getitem__)
+    try:
+        all_paths = enumerate_paths(dag, limit=5000)
+    except ValueError:
+        return  # path explosion; DP answer already validated elsewhere
+    assert all_paths, "non-empty DAG must have at least one path"
+    best = max(sum(costs[c] for c in p) for p in all_paths)
+    assert total >= best - 1e-9
+    assert total == sum(costs[c] for c in path)
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_every_path_starts_at_leaf_ends_at_root(dag):
+    try:
+        paths = enumerate_paths(dag, limit=5000)
+    except ValueError:
+        return
+    leaves, roots = set(dag.leaves()), set(dag.roots())
+    for path in paths:
+        assert path[0] in leaves
+        assert path[-1] in roots
+        for earlier, later in zip(path, path[1:]):
+            assert earlier in dag.dependencies_of(later)

@@ -1,0 +1,85 @@
+"""Property-based tests for the Jenkins-hash flow table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flowtable import (
+    FlowTable,
+    five_tuple_for_flow,
+    hash_five_tuple,
+)
+
+
+@st.composite
+def flow_populations(draw):
+    """Random (flow_id, src, dst, coflow_id) tuples with unique flow ids."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    flow_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    flows = []
+    for flow_id in flow_ids:
+        src = draw(st.integers(min_value=0, max_value=63))
+        dst = draw(st.integers(min_value=64, max_value=127))
+        coflow_id = draw(st.integers(min_value=0, max_value=5))
+        flows.append((flow_id, src, dst, coflow_id))
+    return flows
+
+
+@given(flow_populations(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_every_inserted_flow_is_found(flows, buckets):
+    table = FlowTable(num_buckets=buckets)
+    for flow_id, src, dst, coflow_id in flows:
+        table.insert(five_tuple_for_flow(flow_id, src, dst), flow_id, coflow_id)
+    assert len(table) == len(flows)
+    for flow_id, src, dst, _coflow_id in flows:
+        record = table.lookup(five_tuple_for_flow(flow_id, src, dst))
+        assert record is not None
+        assert record.flow_id == flow_id
+
+
+@given(flow_populations())
+@settings(max_examples=100, deadline=None)
+def test_rollups_conserve_bytes(flows):
+    table = FlowTable(num_buckets=16)
+    total_per_coflow = {}
+    for index, (flow_id, src, dst, coflow_id) in enumerate(flows):
+        five_tuple = five_tuple_for_flow(flow_id, src, dst)
+        table.insert(five_tuple, flow_id, coflow_id)
+        credited = float(index * 7 % 100)
+        table.account_bytes(five_tuple, credited)
+        total_per_coflow[coflow_id] = (
+            total_per_coflow.get(coflow_id, 0.0) + credited
+        )
+    stats = table.coflow_stats()
+    for coflow_id, expected in total_per_coflow.items():
+        assert abs(stats[coflow_id].bytes_received - expected) < 1e-9
+    assert sum(s.num_flows for s in stats.values()) == len(flows)
+
+
+@given(flow_populations())
+@settings(max_examples=50, deadline=None)
+def test_eviction_removes_exactly_closed_records(flows, ):
+    table = FlowTable(num_buckets=8)
+    for flow_id, src, dst, coflow_id in flows:
+        table.insert(five_tuple_for_flow(flow_id, src, dst), flow_id, coflow_id)
+    closed = [f for i, f in enumerate(flows) if i % 2 == 0]
+    for flow_id, src, dst, _coflow_id in closed:
+        table.close(five_tuple_for_flow(flow_id, src, dst))
+    assert table.evict_closed() == len(closed)
+    assert len(table) == len(flows) - len(closed)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=2, max_size=50, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_hash_is_stable_and_in_range(flow_ids):
+    for flow_id in flow_ids:
+        five_tuple = five_tuple_for_flow(flow_id, 1, 2)
+        value = hash_five_tuple(five_tuple)
+        assert 0 <= value < 2**32
+        assert value == hash_five_tuple(five_tuple)

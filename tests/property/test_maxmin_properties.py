@@ -1,0 +1,123 @@
+"""Property-based tests for max-min fairness (the allocator's contract)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.bandwidth.maxmin import allocate_maxmin
+from repro.simulator.bandwidth.spq import allocate_spq
+from repro.simulator.bandwidth.wrr import allocate_wrr
+
+NUM_LINKS = 6
+
+
+@st.composite
+def allocation_problems(draw):
+    """Random (flow_routes, capacities) with up to 12 flows on 6 links."""
+    num_flows = draw(st.integers(min_value=1, max_value=12))
+    flow_routes = {}
+    for flow_id in range(num_flows):
+        length = draw(st.integers(min_value=1, max_value=3))
+        route = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=NUM_LINKS - 1),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
+        )
+        flow_routes[flow_id] = tuple(route)
+    capacities = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0),
+            min_size=NUM_LINKS,
+            max_size=NUM_LINKS,
+        )
+    )
+    return flow_routes, capacities
+
+
+def link_usage(flow_routes, rates):
+    usage = [0.0] * NUM_LINKS
+    for flow_id, route in flow_routes.items():
+        for link in route:
+            usage[link] += rates[flow_id]
+    return usage
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_never_oversubscribes(problem):
+    flow_routes, capacities = problem
+    rates = allocate_maxmin(flow_routes, capacities)
+    for link, used in enumerate(link_usage(flow_routes, rates)):
+        assert used <= capacities[link] * (1 + 1e-6) + 1e-6
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_rates_non_negative_and_complete(problem):
+    flow_routes, capacities = problem
+    rates = allocate_maxmin(flow_routes, capacities)
+    assert set(rates) == set(flow_routes)
+    assert all(rate >= 0.0 for rate in rates.values())
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_saturates_each_flows_bottleneck(problem):
+    """Max-min optimality: every flow has at least one saturated link
+    (else its rate could be raised, contradicting max-min)."""
+    flow_routes, capacities = problem
+    rates = allocate_maxmin(flow_routes, capacities)
+    usage = link_usage(flow_routes, rates)
+    for flow_id, route in flow_routes.items():
+        assert any(
+            usage[link] >= capacities[link] * (1 - 1e-6) - 1e-6
+            for link in route
+        ), f"flow {flow_id} has slack on every link"
+
+
+@given(allocation_problems())
+@settings(max_examples=150, deadline=None)
+def test_maxmin_bottleneck_fairness(problem):
+    """Bertsekas-Gallager characterisation: every flow has a bottleneck
+    link — a saturated link on which no other flow gets a *higher* rate.
+    (If every one of a flow's saturated links carried a faster flow, the
+    slower flow could be raised at the faster one's expense.)"""
+    flow_routes, capacities = problem
+    rates = allocate_maxmin(flow_routes, capacities)
+    usage = link_usage(flow_routes, rates)
+    for flow_id, route in flow_routes.items():
+        has_bottleneck = False
+        for link in route:
+            if usage[link] < capacities[link] * (1 - 1e-6) - 1e-6:
+                continue  # not saturated
+            sharers = [f for f, r in flow_routes.items() if link in r]
+            if all(rates[other] <= rates[flow_id] + 1e-6 for other in sharers):
+                has_bottleneck = True
+                break
+        assert has_bottleneck, f"flow {flow_id} lacks a bottleneck link"
+
+
+@given(allocation_problems(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=150, deadline=None)
+def test_spq_dominance(problem, num_classes):
+    """Raising a flow to the top class never reduces its rate."""
+    flow_routes, capacities = problem
+    flow_id = min(flow_routes)
+    low = {f: (1 if f == flow_id else 0) for f in flow_routes}
+    high = {f: (0 if f == flow_id else 1) for f in flow_routes}
+    rate_low = allocate_spq(flow_routes, low, capacities, num_classes)[flow_id]
+    rate_high = allocate_spq(flow_routes, high, capacities, num_classes)[flow_id]
+    assert rate_high >= rate_low - 1e-6
+
+
+@given(allocation_problems())
+@settings(max_examples=150, deadline=None)
+def test_wrr_no_starvation_and_capacity(problem):
+    flow_routes, capacities = problem
+    priorities = {f: f % 4 for f in flow_routes}
+    rates = allocate_wrr(flow_routes, priorities, capacities, num_classes=4)
+    for link, used in enumerate(link_usage(flow_routes, rates)):
+        assert used <= capacities[link] * (1 + 1e-6) + 1e-3
+    # Starvation mitigation: every flow makes progress.
+    assert all(rate > 0.0 for rate in rates.values())

@@ -1,0 +1,120 @@
+"""Property-based end-to-end tests: simulator invariants on random workloads.
+
+These run full simulations on randomly generated multi-stage workloads and
+check the physical invariants that must hold regardless of the policy:
+dependency order, conservation of volume, completeness, determinism.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jobs import IdAllocator, JobBuilder
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+
+HOSTS = 6
+POLICIES = ["pfs", "baraat", "stream", "aalo", "gurita", "gurita+"]
+
+
+@st.composite
+def workloads(draw):
+    """1-4 jobs, each a small random DAG of coflows with tiny flows."""
+    ids = IdAllocator()
+    num_jobs = draw(st.integers(min_value=1, max_value=4))
+    jobs = []
+    for _ in range(num_jobs):
+        arrival = draw(st.floats(min_value=0.0, max_value=0.5))
+        builder = JobBuilder(arrival_time=arrival, ids=ids)
+        num_coflows = draw(st.integers(min_value=1, max_value=4))
+        added = []
+        for index in range(num_coflows):
+            num_flows = draw(st.integers(min_value=1, max_value=3))
+            specs = []
+            for _f in range(num_flows):
+                src = draw(st.integers(min_value=0, max_value=HOSTS - 1))
+                dst = draw(st.integers(min_value=0, max_value=HOSTS - 1))
+                if dst == src:
+                    dst = (dst + 1) % HOSTS
+                size = draw(st.floats(min_value=1e5, max_value=5e8))
+                specs.append((src, dst, size))
+            max_deps = min(2, index)
+            num_deps = draw(st.integers(min_value=0, max_value=max_deps))
+            deps = draw(
+                st.lists(
+                    st.sampled_from(added) if added else st.nothing(),
+                    min_size=num_deps,
+                    max_size=num_deps,
+                    unique=True,
+                )
+            ) if added and num_deps else []
+            added.append(builder.add_coflow(specs, depends_on=deps))
+        jobs.append(builder.build())
+    return jobs
+
+
+def rebuild(jobs_blueprint):
+    """Deep-copy a workload by reconstructing it (jobs are mutable)."""
+    ids = IdAllocator()
+    out = []
+    for job in jobs_blueprint:
+        builder = JobBuilder(arrival_time=job.arrival_time, ids=ids)
+        mapping = {}
+        for cid in job.dag.topological_order():
+            coflow = job.coflow(cid)
+            specs = [(f.src, f.dst, f.size_bytes) for f in coflow.flows]
+            deps = [mapping[d] for d in job.dag.dependencies_of(cid)]
+            mapping[cid] = builder.add_coflow(specs, depends_on=deps)
+        out.append(builder.build())
+    return out
+
+
+@given(workloads(), st.sampled_from(POLICIES))
+@settings(max_examples=60, deadline=None)
+def test_everything_completes_in_dependency_order(blueprint, policy):
+    jobs = rebuild(blueprint)
+    topology = BigSwitchTopology(num_hosts=HOSTS, link_capacity=1e9)
+    result = simulate(topology, make_scheduler(policy), jobs)
+    assert result.all_done
+    for job in result.jobs:
+        assert job.completion_time() is not None
+        assert job.completion_time() >= 0.0
+        for coflow in job.coflows:
+            # Released only after every dependency completed.
+            for dep in job.dag.dependencies_of(coflow.coflow_id):
+                dep_coflow = job.coflow(dep)
+                assert dep_coflow.finish_time <= coflow.release_time + 1e-9
+            # Flows fully drained, finish after start.
+            for flow in coflow.flows:
+                assert flow.remaining_bytes == 0.0
+                assert flow.finish_time >= flow.start_time
+            assert coflow.finish_time >= coflow.release_time
+        # Job completion equals its last coflow's completion.
+        assert job.finish_time == max(c.finish_time for c in job.coflows)
+
+
+@given(workloads(), st.sampled_from(POLICIES))
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic(blueprint, policy):
+    topology = BigSwitchTopology(num_hosts=HOSTS, link_capacity=1e9)
+    first = simulate(topology, make_scheduler(policy), rebuild(blueprint))
+    second = simulate(topology, make_scheduler(policy), rebuild(blueprint))
+    assert first.job_completion_times() == second.job_completion_times()
+    assert first.events_processed == second.events_processed
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_jct_lower_bound_service_time(blueprint):
+    """No policy can beat the volume/bandwidth lower bound: a job's JCT is
+    at least its critical path's serial service time at line rate."""
+    from repro.jobs.paths import critical_path
+
+    jobs = rebuild(blueprint)
+    topology = BigSwitchTopology(num_hosts=HOSTS, link_capacity=1e9)
+    result = simulate(topology, make_scheduler("pfs"), jobs)
+    for job in result.jobs:
+        def stage_time(coflow_id):
+            return job.coflow(coflow_id).max_flow_bytes / 1e9
+
+        _path, bound = critical_path(job.dag, stage_time)
+        assert job.completion_time() >= bound * (1 - 1e-9)

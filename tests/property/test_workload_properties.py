@@ -1,0 +1,87 @@
+"""Property-based tests for workload tooling and Gurita's scoring."""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocking import beta, blocking_effect, gamma_estimated
+from repro.schedulers.thresholds import ExponentialThresholds
+from repro.workloads.categories import category_of
+from repro.workloads.fbtrace import synthesize_trace, parse_trace, write_trace
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_trace_roundtrip_preserves_structure(num_coflows, seed):
+    trace = synthesize_trace(num_coflows, num_machines=64, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.txt"
+        write_trace(path, trace, num_machines=64)
+        machines, parsed = parse_trace(path)
+    assert machines == 64
+    assert len(parsed) == len(trace)
+    for original, loaded in zip(trace, parsed):
+        assert loaded.mappers == original.mappers
+        assert [m for m, _ in loaded.reducers] == [
+            m for m, _ in original.reducers
+        ]
+        # Volumes survive the MB text encoding to reasonable precision.
+        assert abs(loaded.total_bytes - original.total_bytes) <= max(
+            1e-6 * original.total_bytes, 1.0
+        )
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=1e3, max_value=1e9),
+    st.floats(min_value=1.5, max_value=50.0),
+    st.lists(st.floats(min_value=0.0, max_value=1e13), min_size=2, max_size=20),
+)
+@settings(max_examples=200, deadline=None)
+def test_threshold_classes_monotone(num_classes, first, base, scores):
+    thresholds = ExponentialThresholds(num_classes, first=first, base=base)
+    ordered = sorted(scores)
+    classes = [thresholds.class_of(s) for s in ordered]
+    assert classes == sorted(classes)
+    assert all(0 <= c < num_classes for c in classes)
+
+
+@given(st.floats(min_value=0.0, max_value=1e12), st.floats(min_value=0.0, max_value=1e12))
+@settings(max_examples=200, deadline=None)
+def test_beta_bounded(max_bytes, mean_bytes):
+    value = beta(max_bytes, min(mean_bytes, max_bytes))
+    assert 0.1 <= value <= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=100),
+    st.floats(min_value=0.0, max_value=1e12),
+)
+@settings(max_examples=200, deadline=None)
+def test_blocking_effect_monotone_in_width_and_size(gamma, width, max_bytes):
+    mean = max_bytes / 2.0
+    psi = blocking_effect(gamma, width, max_bytes, mean)
+    psi_wider = blocking_effect(gamma, width + 1, max_bytes, mean)
+    psi_bigger = blocking_effect(gamma, width, max_bytes * 2.0, mean)
+    assert psi >= 0.0
+    assert psi_wider >= psi
+    assert psi_bigger >= psi
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(max_examples=100, deadline=None)
+def test_gamma_estimated_in_unit_interval(stages):
+    value = gamma_estimated(stages)
+    assert 0.0 < value <= 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e14))
+@settings(max_examples=300, deadline=None)
+def test_category_total_function(size):
+    category = category_of(size)
+    assert 1 <= category <= 7

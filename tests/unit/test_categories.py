@@ -1,0 +1,83 @@
+"""Unit tests for the Table-1 job-size categories."""
+
+import pytest
+
+from repro.workloads.categories import (
+    GB,
+    MB,
+    NUM_CATEGORIES,
+    TB,
+    category_bounds,
+    category_label,
+    category_of,
+    group_by_category,
+)
+
+
+class TestCategoryOf:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (6 * MB, 1),
+            (80 * MB, 1),
+            (81 * MB, 2),
+            (800 * MB, 2),
+            (801 * MB, 3),
+            (8 * GB, 3),
+            (9 * GB, 4),
+            (10 * GB, 4),
+            (50 * GB, 5),
+            (100 * GB, 5),
+            (500 * GB, 6),
+            (1 * TB, 6),
+            (2 * TB, 7),
+        ],
+    )
+    def test_table_one_boundaries(self, size, expected):
+        assert category_of(size) == expected
+
+    def test_tiny_jobs_fall_into_category_one(self):
+        assert category_of(1.0) == 1
+        assert category_of(0.0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            category_of(-1.0)
+
+
+class TestLabelsAndBounds:
+    def test_labels_are_roman(self):
+        assert [category_label(i) for i in range(1, 8)] == [
+            "I", "II", "III", "IV", "V", "VI", "VII",
+        ]
+
+    def test_label_range_checked(self):
+        with pytest.raises(ValueError):
+            category_label(0)
+        with pytest.raises(ValueError):
+            category_label(8)
+
+    def test_bounds_tile_the_line(self):
+        previous_upper = 0.0
+        for category in range(1, NUM_CATEGORIES + 1):
+            lower, upper = category_bounds(category)
+            assert lower == previous_upper
+            assert upper > lower
+            previous_upper = upper
+        assert previous_upper == float("inf")
+
+    def test_bounds_match_category_of(self):
+        # Upper bounds are inclusive (80 MB is still category I); the next
+        # category starts just above.
+        for category in range(1, NUM_CATEGORIES):
+            _lower, upper = category_bounds(category)
+            assert category_of(upper) == category
+            assert category_of(upper * 1.000001) == category + 1
+
+
+class TestGrouping:
+    def test_group_by_category(self):
+        groups = group_by_category(
+            [(1, 10 * MB), (2, 500 * MB), (3, 20 * MB), (4, 2 * TB)]
+        )
+        assert groups == {1: [1, 3], 2: [2], 7: [4]}

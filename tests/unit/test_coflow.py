@@ -1,0 +1,91 @@
+"""Unit tests for Coflow dimensions, observations, and lifecycle."""
+
+import pytest
+
+from repro.errors import InvalidJobError
+from repro.jobs.coflow import Coflow, CoflowState
+from repro.jobs.flow import Flow
+
+
+def make_coflow(sizes=(10.0, 20.0, 30.0), coflow_id=5, job_id=7):
+    flows = [
+        Flow(flow_id=i, coflow_id=coflow_id, src=i, dst=100 + i, size_bytes=s)
+        for i, s in enumerate(sizes)
+    ]
+    return Coflow(coflow_id=coflow_id, job_id=job_id, flows=flows)
+
+
+class TestDimensions:
+    def test_width_is_flow_count(self):
+        assert make_coflow().width == 3
+
+    def test_vertical_dimension_is_largest_flow(self):
+        assert make_coflow().max_flow_bytes == 30.0
+
+    def test_mean_and_total(self):
+        coflow = make_coflow()
+        assert coflow.total_bytes == 60.0
+        assert coflow.mean_flow_bytes == pytest.approx(20.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidJobError):
+            Coflow(coflow_id=1, job_id=1, flows=[])
+
+    def test_rejects_mismatched_flow_ownership(self):
+        flow = Flow(flow_id=0, coflow_id=99, src=0, dst=1, size_bytes=1.0)
+        with pytest.raises(InvalidJobError):
+            Coflow(coflow_id=1, job_id=1, flows=[flow])
+
+
+class TestObservations:
+    def test_observed_quantities_track_bytes_sent(self):
+        coflow = make_coflow((10.0, 40.0))
+        coflow.release(0.0)
+        coflow.flows[0].rate = 1.0
+        coflow.flows[1].rate = 4.0
+        for flow in coflow.flows:
+            flow.advance(5.0)
+        assert coflow.bytes_sent == pytest.approx(25.0)
+        assert coflow.observed_max_flow_bytes == pytest.approx(20.0)
+        assert coflow.observed_mean_flow_bytes == pytest.approx(12.5)
+
+    def test_active_width_counts_open_connections(self):
+        coflow = make_coflow((5.0, 5.0, 5.0))
+        assert coflow.active_width == 0
+        coflow.release(0.0)
+        assert coflow.active_width == 3
+        coflow.flows[0].finish(1.0)
+        assert coflow.active_width == 2
+
+
+class TestLifecycle:
+    def test_release_starts_all_flows(self):
+        coflow = make_coflow()
+        coflow.release(2.0)
+        assert coflow.state is CoflowState.RUNNING
+        assert all(f.is_active for f in coflow.flows)
+        assert coflow.release_time == 2.0
+
+    def test_double_release_rejected(self):
+        coflow = make_coflow()
+        coflow.release(0.0)
+        with pytest.raises(InvalidJobError):
+            coflow.release(1.0)
+
+    def test_completes_only_when_all_flows_done(self):
+        coflow = make_coflow((1.0, 2.0))
+        coflow.release(0.0)
+        coflow.flows[0].finish(1.0)
+        assert not coflow.maybe_complete(1.0)
+        coflow.flows[1].finish(3.0)
+        assert coflow.maybe_complete(3.0)
+        assert coflow.state is CoflowState.DONE
+        assert coflow.completion_time() == 3.0
+
+    def test_maybe_complete_idempotent(self):
+        coflow = make_coflow((1.0,))
+        coflow.release(0.0)
+        coflow.flows[0].finish(1.0)
+        assert coflow.maybe_complete(1.0)
+        assert not coflow.maybe_complete(2.0)
+        assert coflow.finish_time == 1.0

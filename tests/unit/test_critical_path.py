@@ -1,0 +1,74 @@
+"""Unit tests for critical-path estimation (rule 4)."""
+
+import pytest
+
+from repro.core.critical_path import (
+    AvaCriticalPathEstimator,
+    clairvoyant_critical_set,
+)
+from repro.jobs import JobBuilder
+
+
+class TestAvaEstimator:
+    def test_average_tracks_observations(self):
+        est = AvaCriticalPathEstimator()
+        est.observe(10.0)
+        est.observe(30.0)
+        assert est.average == pytest.approx(20.0)
+
+    def test_zero_observations_ignored(self):
+        est = AvaCriticalPathEstimator()
+        est.observe(0.0)
+        est.observe(-5.0)
+        assert est.average == 0.0
+
+    def test_no_flag_before_any_observation(self):
+        est = AvaCriticalPathEstimator()
+        assert not est.is_critical(1, 1, 100.0)
+
+    def test_flags_above_average(self):
+        est = AvaCriticalPathEstimator()
+        for value in (10.0, 10.0, 10.0):
+            est.observe(value)
+        assert est.is_critical(1, 1, 50.0)
+        assert not est.is_critical(1, 2, 1.0)
+
+    def test_flags_are_sticky(self):
+        est = AvaCriticalPathEstimator()
+        est.observe(10.0)
+        assert est.is_critical(1, 1, 50.0)
+        # Later, even below average, the mark persists.
+        est.observe(1000.0)
+        assert est.is_critical(1, 1, 50.0)
+
+    def test_marks_capped_per_job(self):
+        est = AvaCriticalPathEstimator(max_marks_per_job=2)
+        est.observe(1.0)
+        assert est.is_critical(1, 1, 10.0)
+        assert est.is_critical(1, 2, 10.0)
+        assert not est.is_critical(1, 3, 10.0)
+        # Another job has its own budget.
+        assert est.is_critical(2, 9, 10.0)
+
+    def test_forget_job_frees_budget(self):
+        est = AvaCriticalPathEstimator(max_marks_per_job=1)
+        est.observe(1.0)
+        assert est.is_critical(1, 1, 10.0)
+        est.forget_job(1)
+        assert est.is_critical(1, 2, 10.0)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            AvaCriticalPathEstimator(max_marks_per_job=0)
+
+
+class TestClairvoyant:
+    def test_heavy_branch_selected(self, ids):
+        builder = JobBuilder(ids=ids)
+        leaf = builder.add_coflow([(0, 1, 10.0)])
+        heavy = builder.add_coflow([(1, 2, 100.0)], depends_on=[leaf])
+        light = builder.add_coflow([(1, 3, 1.0)], depends_on=[leaf])
+        root = builder.add_coflow([(2, 3, 5.0)], depends_on=[heavy, light])
+        job = builder.build()
+        critical = clairvoyant_critical_set(job)
+        assert critical == {leaf, heavy, root}

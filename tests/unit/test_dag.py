@@ -1,0 +1,75 @@
+"""Unit tests for the coflow dependency DAG."""
+
+import pytest
+
+from repro.errors import DagCycleError, InvalidJobError
+from repro.jobs.dag import CoflowDag
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidJobError):
+            CoflowDag([1, 1])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(InvalidJobError):
+            CoflowDag([1, 2], [(1, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DagCycleError):
+            CoflowDag([1], [(1, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(DagCycleError):
+            CoflowDag([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+
+
+class TestStructure:
+    def test_chain_stages(self):
+        dag = CoflowDag([10, 20, 30], [(10, 20), (20, 30)])
+        assert dag.leaves() == [10]
+        assert dag.roots() == [30]
+        assert dag.stage_of(10) == 1
+        assert dag.stage_of(20) == 2
+        assert dag.stage_of(30) == 3
+        assert dag.num_stages == 3
+
+    def test_diamond_stages(self):
+        dag = CoflowDag([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert dag.stage_of(0) == 1
+        assert dag.stage_of(1) == dag.stage_of(2) == 2
+        assert dag.stage_of(3) == 3
+        assert sorted(dag.coflows_in_stage(2)) == [1, 2]
+
+    def test_stage_is_longest_dependency_path(self):
+        # 0 -> 2 and 0 -> 1 -> 2: coflow 2 is stage 3, not 2.
+        dag = CoflowDag([0, 1, 2], [(0, 1), (0, 2), (1, 2)])
+        assert dag.stage_of(2) == 3
+
+    def test_independent_coflows_all_stage_one(self):
+        dag = CoflowDag([1, 2, 3])
+        assert dag.num_stages == 1
+        assert sorted(dag.leaves()) == [1, 2, 3]
+        assert sorted(dag.roots()) == [1, 2, 3]
+
+    def test_topological_order_respects_dependencies(self):
+        dag = CoflowDag([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        order = dag.topological_order()
+        for u, v in dag.edges():
+            assert order.index(u) < order.index(v)
+
+    def test_dependents_and_dependencies_are_inverse(self):
+        dag = CoflowDag([0, 1, 2], [(0, 1), (0, 2)])
+        assert dag.dependents_of(0) == {1, 2}
+        assert dag.dependencies_of(1) == {0}
+        assert dag.dependencies_of(0) == set()
+
+    def test_contains_and_len(self):
+        dag = CoflowDag([5, 6])
+        assert 5 in dag and 6 in dag and 7 not in dag
+        assert len(dag) == 2
+
+    def test_returned_collections_are_copies(self):
+        dag = CoflowDag([0, 1], [(0, 1)])
+        dag.dependencies_of(1).clear()
+        assert dag.dependencies_of(1) == {0}

@@ -1,0 +1,154 @@
+"""Unit tests for the Facebook-trace parser, writer, and synthesizer."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workloads.categories import MB
+from repro.workloads.fbtrace import (
+    TraceCoflow,
+    parse_trace,
+    synthesize_trace,
+    write_trace,
+)
+
+
+def sample_coflow(coflow_id=0):
+    return TraceCoflow(
+        coflow_id=coflow_id,
+        arrival_seconds=1.5,
+        mappers=(0, 1),
+        reducers=((2, 100 * MB), (3, 50 * MB)),
+    )
+
+
+class TestTraceCoflow:
+    def test_totals(self):
+        coflow = sample_coflow()
+        assert coflow.total_bytes == pytest.approx(150 * MB)
+        assert coflow.num_flows == 4
+
+    def test_flow_specs_split_reducer_bytes_across_mappers(self):
+        specs = sample_coflow().flow_specs()
+        assert len(specs) == 4
+        to_reducer_2 = [s for s in specs if s[1] == 2]
+        assert sum(size for _s, _d, size in to_reducer_2) == pytest.approx(
+            100 * MB
+        )
+
+    def test_colocated_pairs_move_no_bytes(self):
+        coflow = TraceCoflow(
+            coflow_id=0,
+            arrival_seconds=0.0,
+            mappers=(2, 5),
+            reducers=((2, 10 * MB),),
+        )
+        specs = coflow.flow_specs()
+        assert all(src != dst for src, dst, _ in specs)
+        assert len(specs) == 1  # mapper 2 is co-located with reducer 2
+
+    def test_fully_colocated_degenerate_case(self):
+        coflow = TraceCoflow(
+            coflow_id=0,
+            arrival_seconds=0.0,
+            mappers=(2,),
+            reducers=((2, 10 * MB),),
+        )
+        specs = coflow.flow_specs()
+        assert len(specs) == 1
+        assert specs[0][0] != specs[0][1]
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, tmp_path):
+        coflows = [sample_coflow(0), sample_coflow(1)]
+        path = tmp_path / "trace.txt"
+        write_trace(path, coflows, num_machines=10)
+        machines, parsed = parse_trace(path)
+        assert machines == 10
+        assert len(parsed) == 2
+        for original, loaded in zip(coflows, parsed):
+            assert loaded.coflow_id == original.coflow_id
+            assert loaded.arrival_seconds == pytest.approx(
+                original.arrival_seconds, abs=1e-3
+            )
+            assert loaded.mappers == original.mappers
+            assert loaded.total_bytes == pytest.approx(original.total_bytes)
+
+    def test_parse_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            parse_trace(path)
+
+    def test_parse_rejects_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10 2\n0 0 1 0 1 2:1\n")
+        with pytest.raises(TraceFormatError):
+            parse_trace(path)
+
+    def test_parse_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("10 1\n0 0 banana\n")
+        with pytest.raises(TraceFormatError):
+            parse_trace(path)
+
+    def test_parse_rejects_out_of_range_machine(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 1\n0 0 1 7 1 2:1\n")
+        with pytest.raises(TraceFormatError):
+            parse_trace(path)
+
+
+class TestSynthesis:
+    def test_deterministic_in_seed(self):
+        a = synthesize_trace(50, num_machines=100, seed=9)
+        b = synthesize_trace(50, num_machines=100, seed=9)
+        assert [c.reducers for c in a] == [c.reducers for c in b]
+
+    def test_seed_changes_output(self):
+        a = synthesize_trace(50, num_machines=100, seed=1)
+        b = synthesize_trace(50, num_machines=100, seed=2)
+        assert [c.reducers for c in a] != [c.reducers for c in b]
+
+    def test_arrivals_sorted_within_duration(self):
+        trace = synthesize_trace(80, num_machines=50, duration=100.0, seed=3)
+        arrivals = [c.arrival_seconds for c in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 100.0 for a in arrivals)
+
+    def test_machines_in_range(self):
+        trace = synthesize_trace(80, num_machines=16, seed=4)
+        for coflow in trace:
+            for machine in list(coflow.mappers) + [m for m, _ in coflow.reducers]:
+                assert 0 <= machine < 16
+
+    def test_fanin_capped(self):
+        trace = synthesize_trace(200, num_machines=1000, seed=5, max_fanin=7)
+        assert max(len(c.mappers) for c in trace) <= 7
+        assert max(len(c.reducers) for c in trace) <= 7
+
+    def test_sizes_are_heavy_tailed(self):
+        trace = synthesize_trace(400, num_machines=1000, seed=6)
+        sizes = sorted(c.total_bytes for c in trace)
+        median = sizes[len(sizes) // 2]
+        assert max(sizes) > 100 * median  # a real tail exists
+
+    def test_big_coflows_are_wide(self):
+        trace = synthesize_trace(400, num_machines=1000, seed=7)
+        big = [c for c in trace if c.total_bytes > 10_000 * MB]
+        small = [c for c in trace if c.total_bytes < 100 * MB]
+        assert big and small
+        mean_width = lambda group: sum(len(c.reducers) for c in group) / len(group)
+        assert mean_width(big) > 2 * mean_width(small)
+
+    def test_size_scale_applies(self):
+        base = synthesize_trace(20, num_machines=50, seed=8, size_scale=1.0)
+        scaled = synthesize_trace(20, num_machines=50, seed=8, size_scale=0.5)
+        for full, half in zip(base, scaled):
+            assert half.total_bytes == pytest.approx(full.total_bytes * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            synthesize_trace(0)
+        with pytest.raises(TraceFormatError):
+            synthesize_trace(5, num_machines=1)

@@ -1,0 +1,89 @@
+"""Unit tests for the Flow lifecycle and accounting."""
+
+import pytest
+
+from repro.errors import InvalidJobError
+from repro.jobs.flow import Flow, FlowState
+
+
+def make_flow(size=100.0):
+    return Flow(flow_id=1, coflow_id=2, src=0, dst=1, size_bytes=size)
+
+
+class TestFlowConstruction:
+    def test_starts_pending_with_full_volume(self):
+        flow = make_flow(64.0)
+        assert flow.state is FlowState.PENDING
+        assert flow.remaining_bytes == 64.0
+        assert flow.bytes_sent == 0.0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(InvalidJobError):
+            make_flow(0.0)
+        with pytest.raises(InvalidJobError):
+            make_flow(-5.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidJobError):
+            Flow(flow_id=1, coflow_id=2, src=3, dst=3, size_bytes=1.0)
+
+
+class TestFlowLifecycle:
+    def test_start_records_time_and_activates(self):
+        flow = make_flow()
+        flow.start(1.5)
+        assert flow.state is FlowState.ACTIVE
+        assert flow.start_time == 1.5
+
+    def test_double_start_rejected(self):
+        flow = make_flow()
+        flow.start(0.0)
+        with pytest.raises(InvalidJobError):
+            flow.start(1.0)
+
+    def test_advance_consumes_volume_at_rate(self):
+        flow = make_flow(100.0)
+        flow.start(0.0)
+        flow.rate = 10.0
+        flow.advance(3.0)
+        assert flow.remaining_bytes == pytest.approx(70.0)
+        assert flow.bytes_sent == pytest.approx(30.0)
+
+    def test_advance_never_goes_negative(self):
+        flow = make_flow(10.0)
+        flow.start(0.0)
+        flow.rate = 100.0
+        flow.advance(1.0)
+        assert flow.remaining_bytes == 0.0
+
+    def test_advance_ignored_when_pending_or_done(self):
+        flow = make_flow(10.0)
+        flow.rate = 5.0
+        flow.advance(1.0)  # still pending
+        assert flow.remaining_bytes == 10.0
+        flow.start(0.0)
+        flow.finish(2.0)
+        flow.advance(1.0)  # done
+        assert flow.remaining_bytes == 0.0
+
+    def test_finish_zeroes_volume_and_rate(self):
+        flow = make_flow(10.0)
+        flow.start(0.0)
+        flow.rate = 5.0
+        flow.finish(2.0)
+        assert flow.state is FlowState.DONE
+        assert flow.remaining_bytes == 0.0
+        assert flow.rate == 0.0
+        assert flow.finish_time == 2.0
+        assert flow.duration() == 2.0
+
+    def test_finish_requires_active(self):
+        flow = make_flow()
+        with pytest.raises(InvalidJobError):
+            flow.finish(1.0)
+
+    def test_duration_none_until_finished(self):
+        flow = make_flow()
+        assert flow.duration() is None
+        flow.start(1.0)
+        assert flow.duration() is None

@@ -1,0 +1,123 @@
+"""Unit tests for the Jenkins-hash receiver flow table."""
+
+import pytest
+
+from repro.core.flowtable import (
+    FlowTable,
+    PROTO_TCP,
+    five_tuple_for_flow,
+    hash_five_tuple,
+    jenkins_one_at_a_time,
+)
+
+
+def tuple_for(flow_id, src=1, dst=2):
+    return five_tuple_for_flow(flow_id, src, dst)
+
+
+class TestJenkinsHash:
+    def test_known_values_stable(self):
+        # One-at-a-time is deterministic; pin a couple of values so an
+        # accidental algorithm change is caught.
+        assert jenkins_one_at_a_time(b"") == 0
+        assert jenkins_one_at_a_time(b"a") == jenkins_one_at_a_time(b"a")
+        assert jenkins_one_at_a_time(b"a") != jenkins_one_at_a_time(b"b")
+
+    def test_32_bit_range(self):
+        for data in (b"", b"abc", b"x" * 100):
+            assert 0 <= jenkins_one_at_a_time(data) < 2**32
+
+    def test_five_tuple_hash_spreads(self):
+        buckets = {
+            hash_five_tuple(tuple_for(i, src=i % 7, dst=3 + i % 5)) % 64
+            for i in range(300)
+        }
+        assert len(buckets) > 40
+
+
+class TestFiveTupleSynthesis:
+    def test_shape(self):
+        src_ip, dst_ip, sport, dport, proto = five_tuple_for_flow(9, 4, 5)
+        assert proto == PROTO_TCP
+        assert dport == 7077
+        assert src_ip != dst_ip
+        assert 32768 <= sport < 61000
+
+    def test_distinct_flows_distinct_tuples(self):
+        assert five_tuple_for_flow(1, 0, 1) != five_tuple_for_flow(2, 0, 1)
+
+
+class TestFlowTable:
+    def test_insert_lookup(self):
+        table = FlowTable(num_buckets=8)
+        table.insert(tuple_for(1), flow_id=1, coflow_id=10)
+        record = table.lookup(tuple_for(1))
+        assert record is not None
+        assert record.flow_id == 1 and record.coflow_id == 10
+        assert len(table) == 1
+
+    def test_lookup_missing(self):
+        assert FlowTable().lookup(tuple_for(1)) is None
+
+    def test_reinsert_same_tuple_replaces(self):
+        table = FlowTable(num_buckets=4)
+        table.insert(tuple_for(1), 1, 10)
+        table.insert(tuple_for(1), 2, 11)
+        assert len(table) == 1
+        assert table.lookup(tuple_for(1)).flow_id == 2
+
+    def test_collisions_chain(self):
+        table = FlowTable(num_buckets=1)  # everything collides
+        for i in range(5):
+            table.insert(tuple_for(i, src=i), i, 10)
+        assert len(table) == 5
+        assert table.max_chain_length() == 5
+        for i in range(5):
+            assert table.lookup(tuple_for(i, src=i)).flow_id == i
+
+    def test_account_bytes(self):
+        table = FlowTable()
+        table.insert(tuple_for(1), 1, 10)
+        assert table.account_bytes(tuple_for(1), 500.0)
+        assert table.account_bytes(tuple_for(1), 250.0)
+        assert table.lookup(tuple_for(1)).bytes_received == 750.0
+        assert not table.account_bytes(tuple_for(9), 1.0)
+
+    def test_close_and_evict(self):
+        table = FlowTable()
+        table.insert(tuple_for(1), 1, 10)
+        table.insert(tuple_for(2), 2, 10)
+        table.insert(tuple_for(3), 3, 20)
+        assert table.close(tuple_for(1))
+        assert not table.close(tuple_for(1))  # already closed
+        assert table.close(tuple_for(3))
+        assert table.evict_closed(coflow_id=10) == 1
+        assert len(table) == 2
+        assert table.evict_closed() == 1
+        assert len(table) == 1
+
+    def test_coflow_stats_rollup(self):
+        table = FlowTable()
+        table.insert(tuple_for(1), 1, 10)
+        table.insert(tuple_for(2), 2, 10)
+        table.insert(tuple_for(3), 3, 20)
+        table.account_bytes(tuple_for(1), 100.0)
+        table.account_bytes(tuple_for(2), 300.0)
+        table.close(tuple_for(2))
+        stats = table.coflow_stats()
+        assert stats[10].num_flows == 2
+        assert stats[10].open_connections == 1
+        assert stats[10].bytes_received == 400.0
+        assert stats[10].max_flow_bytes == 300.0
+        assert stats[10].mean_flow_bytes == 200.0
+        assert stats[20].bytes_received == 0.0
+
+    def test_load_factor(self):
+        table = FlowTable(num_buckets=10)
+        for i in range(5):
+            table.insert(tuple_for(i, src=i), i, 1)
+        assert table.load_factor() == pytest.approx(0.5)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            FlowTable(num_buckets=0)

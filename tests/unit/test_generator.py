@@ -1,0 +1,130 @@
+"""Unit tests for the workload generator (trace -> structured jobs)."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.jobs import IdAllocator
+from repro.workloads.fbtrace import synthesize_trace
+from repro.workloads.generator import (
+    jobs_from_trace,
+    remap_specs,
+    replicate_coflow,
+    synthesize_workload,
+)
+
+
+class TestRemap:
+    def test_endpoints_within_host_range(self):
+        rng = random.Random(0)
+        specs = remap_specs([(500, 900, 10.0), (900, 500, 5.0)], 8, rng)
+        for src, dst, _size in specs:
+            assert 0 <= src < 8 and 0 <= dst < 8
+            assert src != dst
+
+    def test_mapping_consistent_within_call(self):
+        rng = random.Random(0)
+        specs = remap_specs([(500, 900, 1.0), (500, 901, 1.0)], 64, rng)
+        assert specs[0][0] == specs[1][0]  # machine 500 maps once
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(WorkloadError):
+            remap_specs([(0, 1, 1.0)], 1, random.Random(0))
+
+
+class TestReplication:
+    def test_scales_to_target_volume(self):
+        trace = synthesize_trace(5, num_machines=100, seed=1)
+        rng = random.Random(0)
+        specs = replicate_coflow(trace[0], 1234.0, 64, rng)
+        assert sum(size for *_rest, size in specs) == pytest.approx(1234.0)
+
+    def test_light_replicas_are_thinner(self):
+        trace = synthesize_trace(30, num_machines=100, seed=2, max_fanin=20)
+        wide = max(trace, key=lambda c: c.num_flows)
+        rng = random.Random(0)
+        full = replicate_coflow(wide, wide.total_bytes, 64, rng)
+        thin = replicate_coflow(wide, wide.total_bytes / 100.0, 64, rng)
+        assert len(thin) < len(full)
+        assert len(thin) >= 1
+
+
+class TestJobsFromTrace:
+    def test_structures_have_expected_node_counts(self):
+        trace = synthesize_trace(10, num_machines=100, seed=3)
+        for structure, nodes in (("fb-tao", 8), ("tpcds", 7), ("single", 1)):
+            jobs = jobs_from_trace(
+                trace, num_jobs=4, num_hosts=32, structure=structure, seed=1
+            )
+            assert all(len(j.coflows) == nodes for j in jobs)
+
+    def test_arrival_override(self):
+        trace = synthesize_trace(4, num_machines=100, seed=4)
+        jobs = jobs_from_trace(
+            trace,
+            num_jobs=4,
+            num_hosts=32,
+            arrivals=[5.0, 6.0, 7.0, 8.0],
+            seed=1,
+        )
+        assert [j.arrival_time for j in jobs] == [5.0, 6.0, 7.0, 8.0]
+
+    def test_validation(self):
+        trace = synthesize_trace(4, num_machines=100, seed=5)
+        with pytest.raises(WorkloadError):
+            jobs_from_trace([], num_jobs=1, num_hosts=8)
+        with pytest.raises(WorkloadError):
+            jobs_from_trace(trace, num_jobs=0, num_hosts=8)
+        with pytest.raises(WorkloadError):
+            jobs_from_trace(trace, num_jobs=4, num_hosts=8, arrivals=[1.0])
+        with pytest.raises(WorkloadError):
+            jobs_from_trace(trace, num_jobs=1, num_hosts=8, structure="bogus")
+
+
+class TestSynthesizeWorkload:
+    def test_deterministic_per_seed(self):
+        a = synthesize_workload(8, 32, seed=5)
+        b = synthesize_workload(8, 32, seed=5)
+        assert [j.total_bytes for j in a] == [j.total_bytes for j in b]
+
+    def test_all_arrival_modes(self):
+        for mode in ("uniform", "poisson", "bursty", "simultaneous"):
+            jobs = synthesize_workload(6, 32, arrival_mode=mode, seed=1)
+            assert len(jobs) == 6
+            assert all(j.arrival_time >= 0 for j in jobs)
+
+    def test_simultaneous_all_at_zero(self):
+        jobs = synthesize_workload(5, 32, arrival_mode="simultaneous", seed=1)
+        assert all(j.arrival_time == 0.0 for j in jobs)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_workload(5, 32, arrival_mode="warp", seed=1)
+
+    def test_offered_load_controls_span(self):
+        light = synthesize_workload(20, 32, seed=2, offered_load=0.5)
+        heavy = synthesize_workload(20, 32, seed=2, offered_load=2.0)
+        assert max(j.arrival_time for j in light) > max(
+            j.arrival_time for j in heavy
+        )
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_workload(5, 32, offered_load=0.0)
+
+    def test_hosts_within_topology(self):
+        jobs = synthesize_workload(10, 16, seed=3)
+        for job in jobs:
+            for coflow in job.coflows:
+                for flow in coflow.flows:
+                    assert 0 <= flow.src < 16
+                    assert 0 <= flow.dst < 16
+                    assert flow.src != flow.dst
+
+    def test_shared_id_allocator(self):
+        ids = IdAllocator()
+        first = synthesize_workload(3, 16, seed=1, ids=ids)
+        second = synthesize_workload(3, 16, seed=2, ids=ids)
+        all_ids = [j.job_id for j in first + second]
+        assert len(set(all_ids)) == len(all_ids)

@@ -1,0 +1,158 @@
+"""Unit tests for Gurita's configuration, HR decisions, and GuritaPlus."""
+
+import pytest
+
+from repro.core.config import GuritaConfig
+from repro.core.critical_path import AvaCriticalPathEstimator
+from repro.core.gurita import GuritaScheduler
+from repro.core.gurita_plus import GuritaPlusScheduler
+from repro.core.head_receiver import HeadReceiver
+from repro.core.starvation import build_request
+from repro.errors import SchedulerError
+from repro.jobs import JobBuilder
+from repro.simulator.bandwidth.request import AllocationMode
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = GuritaConfig()
+        assert config.num_classes == 4  # evaluation uses four queues
+        assert config.update_interval == pytest.approx(8e-3)
+        assert config.beta_floor == pytest.approx(0.1)
+        assert config.starvation_mitigation is True
+
+    def test_threshold_object_built(self):
+        config = GuritaConfig(num_classes=8, psi_first=1e6, psi_base=4.0)
+        assert config.thresholds.num_classes == 8
+        assert config.thresholds.class_of(0.5e6) == 0
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            GuritaConfig(critical_path_bonus=1.0)
+        with pytest.raises(SchedulerError):
+            GuritaConfig(beta_floor=0.0)
+        with pytest.raises(SchedulerError):
+            GuritaConfig(update_interval=0.0)
+
+
+class TestStarvationRequest:
+    def test_wrr_when_mitigation_on(self):
+        request = build_request(GuritaConfig(), {1: 0})
+        assert request.mode is AllocationMode.WRR
+
+    def test_spq_when_mitigation_off(self):
+        request = build_request(
+            GuritaConfig(starvation_mitigation=False), {1: 0}
+        )
+        assert request.mode is AllocationMode.SPQ
+
+
+def _two_stage_job(ids, first_sizes, second_sizes):
+    builder = JobBuilder(ids=ids)
+    first = builder.add_coflow([(i, 50 + i, s) for i, s in enumerate(first_sizes)])
+    second = builder.add_coflow(
+        [(i, 60 + i, s) for i, s in enumerate(second_sizes)],
+        depends_on=[first],
+    )
+    return builder.build(), first, second
+
+
+class TestHeadReceiver:
+    def test_no_decisions_before_release(self, ids):
+        job, _f, _s = _two_stage_job(ids, [100.0], [10.0])
+        hr = HeadReceiver(job, GuritaConfig())
+        assert hr.decide(AvaCriticalPathEstimator()) == []
+
+    def test_decides_for_running_stage_only(self, ids):
+        job, first, _second = _two_stage_job(ids, [100.0], [10.0])
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+        hr = HeadReceiver(job, GuritaConfig())
+        decisions = hr.decide(AvaCriticalPathEstimator())
+        assert [d.coflow_id for d in decisions] == [first]
+        assert decisions[0].stage == 1
+
+    def test_heavier_observation_demotes(self, ids):
+        config = GuritaConfig(psi_first=100.0, psi_base=10.0)
+        job, first, _second = _two_stage_job(
+            ids, [1000.0, 10.0, 10.0], [1.0]
+        )
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+        coflow = job.coflow(first)
+        hr = HeadReceiver(job, config)
+        # Nothing observed: psi 0 -> top class.
+        assert hr.decide(AvaCriticalPathEstimator())[0].priority_class == 0
+        # One elephant flow races ahead: beta ~ 1, width 3, lmax 600.
+        coflow.flows[0].rate = 100.0
+        coflow.flows[0].advance(6.0)
+        decision = hr.decide(AvaCriticalPathEstimator())[0]
+        assert decision.psi > 100.0
+        assert decision.priority_class >= 1
+
+    def test_stage_psi_sums_parallel_coflows(self, ids):
+        builder = JobBuilder(ids=ids)
+        a = builder.add_coflow([(0, 1, 100.0)])
+        b = builder.add_coflow([(2, 3, 100.0)])
+        job = builder.build()
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+        for coflow in job.coflows:
+            coflow.flows[0].rate = 10.0
+            coflow.flows[0].advance(1.0)
+        hr = HeadReceiver(job, GuritaConfig(critical_path_bonus=0.0))
+        decisions = hr.decide(AvaCriticalPathEstimator())
+        assert len(decisions) == 2
+        total = sum(d.psi for d in decisions)
+        for decision in decisions:
+            assert decision.stage_psi == pytest.approx(total)
+
+
+class TestGuritaHooks:
+    def test_new_coflows_start_at_top_priority(self, ids):
+        scheduler = GuritaScheduler()
+        job, first, _second = _two_stage_job(ids, [100.0], [10.0])
+        scheduler.on_job_arrival(job, 0.0)
+        released = job.arrive(0.0)
+        for coflow in released:
+            coflow.release(0.0)
+            scheduler.on_coflow_release(coflow, 0.0)
+        flow = job.coflow(first).flows[0]
+        request = scheduler.allocation([flow], 0.0)
+        assert request.priorities[flow.flow_id] == 0
+
+    def test_promotion_does_not_touch_inflight_flows(self, ids):
+        scheduler = GuritaScheduler()
+        job, first, _second = _two_stage_job(ids, [100.0], [10.0])
+        scheduler.on_job_arrival(job, 0.0)
+
+        class FakeContext:
+            def coflow(self, coflow_id):
+                return job.coflow(coflow_id)
+
+        scheduler.context = FakeContext()
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+            scheduler.on_coflow_release(coflow, 0.0)
+        # Demote then attempt to promote.
+        assert scheduler._apply_decision(first, 2) is True
+        flow_id = job.coflow(first).flows[0].flow_id
+        assert scheduler._flow_class[flow_id] == 2
+        assert scheduler._apply_decision(first, 0) is False
+        # In-flight flow keeps its old (demoted) priority.
+        assert scheduler._flow_class[flow_id] == 2
+        # But the coflow-level class for future flows improved.
+        assert scheduler._coflow_class[first] == 0
+
+
+class TestGuritaPlus:
+    def test_no_periodic_updates(self):
+        assert GuritaPlusScheduler().update_interval is None
+
+    def test_critical_sets_tracked_per_job(self, ids):
+        scheduler = GuritaPlusScheduler()
+        job, first, second = _two_stage_job(ids, [100.0], [10.0])
+        scheduler.on_job_arrival(job, 0.0)
+        assert scheduler._critical_sets[job.job_id] == {first, second}
+        scheduler.on_job_finish(job, 1.0)
+        assert job.job_id not in scheduler._critical_sets

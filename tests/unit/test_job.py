@@ -1,0 +1,124 @@
+"""Unit tests for the Job lifecycle and dependency releases."""
+
+import pytest
+
+from repro.errors import InvalidJobError
+from repro.jobs import IdAllocator, JobBuilder, chain_job, single_stage_job
+from repro.jobs.job import JobState
+
+
+class TestConstruction:
+    def test_arrival_must_be_non_negative(self, ids):
+        with pytest.raises(InvalidJobError):
+            single_stage_job([(0, 1, 5.0)], arrival_time=-1.0, ids=ids)
+
+    def test_stages_assigned_from_dag(self, diamond_job):
+        stages = {
+            name: diamond_job.coflow(cid).stage
+            for name, cid in diamond_job.coflow_ids.items()
+        }
+        assert stages == {"leaf": 1, "left": 2, "right": 2, "root": 3}
+        assert diamond_job.num_stages == 3
+
+    def test_total_bytes_sums_all_stages(self, diamond_job):
+        assert diamond_job.total_bytes == pytest.approx(250.0)
+
+    def test_stage_bytes(self, diamond_job):
+        assert diamond_job.stage_bytes(1) == pytest.approx(100.0)
+        assert diamond_job.stage_bytes(2) == pytest.approx(125.0)
+        assert diamond_job.stage_bytes(3) == pytest.approx(25.0)
+
+
+class TestLifecycle:
+    def test_arrive_releases_only_leaves(self, diamond_job):
+        released = diamond_job.arrive(0.0)
+        assert [c.coflow_id for c in released] == [
+            diamond_job.coflow_ids["leaf"]
+        ]
+        assert diamond_job.state is JobState.RUNNING
+
+    def test_double_arrival_rejected(self, diamond_job):
+        diamond_job.arrive(0.0)
+        with pytest.raises(InvalidJobError):
+            diamond_job.arrive(1.0)
+
+    def _finish_coflow(self, job, coflow_id, now):
+        coflow = job.coflow(coflow_id)
+        for flow in coflow.flows:
+            flow.finish(now)
+        assert coflow.maybe_complete(now)
+
+    def test_dependents_release_when_all_dependencies_done(self, diamond_job):
+        names = diamond_job.coflow_ids
+        for coflow in diamond_job.arrive(0.0):
+            coflow.release(0.0)
+        self._finish_coflow(diamond_job, names["leaf"], 1.0)
+        released = diamond_job.releasable_after(names["leaf"])
+        assert sorted(c.coflow_id for c in released) == sorted(
+            [names["left"], names["right"]]
+        )
+        for coflow in released:
+            coflow.release(1.0)
+        # Root waits for both left and right.
+        self._finish_coflow(diamond_job, names["left"], 2.0)
+        assert diamond_job.releasable_after(names["left"]) == []
+        self._finish_coflow(diamond_job, names["right"], 3.0)
+        root_release = diamond_job.releasable_after(names["right"])
+        assert [c.coflow_id for c in root_release] == [names["root"]]
+
+    def test_completed_stages_counts_prefix(self, diamond_job):
+        names = diamond_job.coflow_ids
+        for coflow in diamond_job.arrive(0.0):
+            coflow.release(0.0)
+        assert diamond_job.completed_stages == 0
+        self._finish_coflow(diamond_job, names["leaf"], 1.0)
+        assert diamond_job.completed_stages == 1
+
+    def test_job_completes_with_last_coflow(self, diamond_job):
+        names = diamond_job.coflow_ids
+        for coflow in diamond_job.arrive(0.0):
+            coflow.release(0.0)
+        self._finish_coflow(diamond_job, names["leaf"], 1.0)
+        for coflow in diamond_job.releasable_after(names["leaf"]):
+            coflow.release(1.0)
+        self._finish_coflow(diamond_job, names["left"], 2.0)
+        self._finish_coflow(diamond_job, names["right"], 2.5)
+        for coflow in diamond_job.releasable_after(names["right"]):
+            coflow.release(2.5)
+        assert not diamond_job.maybe_complete(2.5)
+        self._finish_coflow(diamond_job, names["root"], 4.0)
+        assert diamond_job.maybe_complete(4.0)
+        assert diamond_job.completion_time() == pytest.approx(4.0)
+
+
+class TestBuilders:
+    def test_chain_job_builds_linear_stages(self, ids):
+        job = chain_job(
+            [[(0, 1, 10.0)], [(1, 2, 5.0)], [(2, 3, 1.0)]], ids=ids
+        )
+        assert job.num_stages == 3
+        assert [c.stage for c in job.coflows] == [1, 2, 3]
+
+    def test_single_stage_job(self, ids):
+        job = single_stage_job([(0, 1, 1.0), (2, 3, 2.0)], ids=ids)
+        assert job.num_stages == 1
+        assert job.coflows[0].width == 2
+
+    def test_builder_rejects_unknown_dependency(self, ids):
+        builder = JobBuilder(ids=ids)
+        with pytest.raises(InvalidJobError):
+            builder.add_coflow([(0, 1, 1.0)], depends_on=[999])
+
+    def test_builder_rejects_empty_coflow(self, ids):
+        builder = JobBuilder(ids=ids)
+        with pytest.raises(InvalidJobError):
+            builder.add_coflow([])
+
+    def test_id_allocator_keeps_ids_globally_unique(self):
+        ids = IdAllocator()
+        job_a = single_stage_job([(0, 1, 1.0)], ids=ids)
+        job_b = single_stage_job([(0, 1, 1.0)], ids=ids)
+        assert job_a.job_id != job_b.job_id
+        flows_a = {f.flow_id for c in job_a.coflows for f in c.flows}
+        flows_b = {f.flow_id for c in job_b.coflows for f in c.flows}
+        assert not flows_a & flows_b

@@ -1,0 +1,80 @@
+"""Unit tests for JCT lower bounds."""
+
+import pytest
+
+from repro.jobs import IdAllocator, JobBuilder, chain_job, single_stage_job
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.theory.lowerbound import (
+    coflow_service_bound,
+    job_critical_path_bound,
+    job_lower_bound,
+    job_port_bound,
+    mean_optimality_gap,
+    optimality_gaps,
+)
+
+GB = 1e9
+
+
+class TestCoflowBound:
+    def test_single_flow(self, ids):
+        job = single_stage_job([(0, 1, 2.0 * GB)], ids=ids)
+        assert coflow_service_bound(job.coflows[0], 1.0 * GB) == pytest.approx(2.0)
+
+    def test_port_fan_in_dominates(self, ids):
+        # Two 1 GB flows into the same receiver: the port must move 2 GB.
+        job = single_stage_job([(0, 2, 1.0 * GB), (1, 2, 1.0 * GB)], ids=ids)
+        assert coflow_service_bound(job.coflows[0], 1.0 * GB) == pytest.approx(2.0)
+
+    def test_largest_flow_dominates_when_spread(self, ids):
+        job = single_stage_job([(0, 2, 3.0 * GB), (1, 3, 1.0 * GB)], ids=ids)
+        assert coflow_service_bound(job.coflows[0], 1.0 * GB) == pytest.approx(3.0)
+
+    def test_rate_validation(self, ids):
+        job = single_stage_job([(0, 1, 1.0)], ids=ids)
+        with pytest.raises(ValueError):
+            coflow_service_bound(job.coflows[0], 0.0)
+
+
+class TestJobBounds:
+    def test_chain_bound_sums_stages(self, ids):
+        job = chain_job(
+            [[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)]], ids=ids
+        )
+        assert job_critical_path_bound(job, 1.0 * GB) == pytest.approx(3.0)
+
+    def test_port_bound_accumulates_across_stages(self, ids):
+        # Host 1 receives 1 GB in stage 1 and sends 2 GB in stage 2;
+        # its uplink must carry 2 GB, its downlink 1 GB.
+        job = chain_job(
+            [[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)]], ids=ids
+        )
+        assert job_port_bound(job, 1.0 * GB) == pytest.approx(2.0)
+
+    def test_combined_bound_takes_max(self, ids):
+        job = chain_job([[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)]], ids=ids)
+        assert job_lower_bound(job, 1.0 * GB) == pytest.approx(3.0)
+
+
+class TestGaps:
+    def test_measured_jct_never_beats_bound(self, ids):
+        jobs = [
+            chain_job([[(0, 1, 0.5 * GB)], [(1, 2, 1.0 * GB)]], ids=ids),
+            single_stage_job([(0, 3, 2.0 * GB)], ids=ids),
+            single_stage_job([(2, 3, 0.3 * GB)], arrival_time=0.1, ids=ids),
+        ]
+        topo = BigSwitchTopology(num_hosts=6, link_capacity=1.0 * GB)
+        result = simulate(topo, PerFlowFairSharing(), jobs)
+        gaps = optimality_gaps(result, 1.0 * GB)
+        assert set(gaps) == {job.job_id for job in jobs}
+        assert all(gap >= 1.0 - 1e-9 for gap in gaps.values())
+        assert mean_optimality_gap(result, 1.0 * GB) >= 1.0 - 1e-9
+
+    def test_uncontended_job_achieves_its_bound(self, ids):
+        job = chain_job([[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)]], ids=ids)
+        topo = BigSwitchTopology(num_hosts=4, link_capacity=1.0 * GB)
+        result = simulate(topo, PerFlowFairSharing(), [job])
+        gap = optimality_gaps(result, 1.0 * GB)[job.job_id]
+        assert gap == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,134 @@
+"""Unit tests for metrics: JCT summaries, improvement factors, reports."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.jobs import IdAllocator, single_stage_job
+from repro.metrics import (
+    JctSummary,
+    average_jct_by_category,
+    categories_present,
+    format_category_table,
+    format_improvement_row,
+    format_jct_table,
+    improvement_factor,
+    jct_by_category,
+    overall_improvement,
+    per_category_improvement,
+)
+from repro.simulator.runtime import SimulationResult
+
+
+def fake_result(jct_by_size, scheduler="x"):
+    """Build a SimulationResult whose jobs have given (bytes, jct) pairs."""
+    ids = IdAllocator()
+    jobs = []
+    for size, jct in jct_by_size:
+        job = single_stage_job([(0, 1, size)], ids=ids)
+        job.arrive(0.0)
+        coflow = job.coflows[0]
+        coflow.release(0.0)
+        for flow in coflow.flows:
+            flow.finish(jct)
+        coflow.maybe_complete(jct)
+        job.maybe_complete(jct)
+        jobs.append(job)
+    return SimulationResult(
+        jobs=jobs,
+        makespan=max(j for _s, j in jct_by_size),
+        events_processed=0,
+        reallocations=0,
+        scheduler_name=scheduler,
+    )
+
+
+class TestSummary:
+    def test_stats(self):
+        summary = JctSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.maximum == 4.0
+        assert summary.total == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            JctSummary.from_values([])
+
+
+class TestCategoryGrouping:
+    def test_jobs_grouped_by_size(self):
+        result = fake_result([(10e6, 1.0), (20e6, 2.0), (500e6, 3.0)])
+        groups = jct_by_category(result)
+        assert sorted(groups[1]) == [1.0, 2.0]
+        assert groups[2] == [3.0]
+
+    def test_category_averages(self):
+        result = fake_result([(10e6, 1.0), (20e6, 3.0)])
+        assert average_jct_by_category(result) == {1: pytest.approx(2.0)}
+
+    def test_categories_present_intersects(self):
+        a = fake_result([(10e6, 1.0), (500e6, 1.0)])
+        b = fake_result([(10e6, 1.0), (5e9, 1.0)])
+        assert categories_present([a, b]) == [1]
+
+
+class TestImprovement:
+    def test_factor_definition(self):
+        assert improvement_factor(2.0, 1.0) == pytest.approx(2.0)
+        assert improvement_factor(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            improvement_factor(-1.0, 1.0)
+        with pytest.raises(ReproError):
+            improvement_factor(1.0, 0.0)
+
+    def test_overall_improvement(self):
+        slow = fake_result([(10e6, 4.0)])
+        fast = fake_result([(10e6, 2.0)])
+        assert overall_improvement(slow, fast) == pytest.approx(2.0)
+
+    def test_per_category_improvement_only_common_categories(self):
+        slow = fake_result([(10e6, 4.0), (500e6, 8.0)])
+        fast = fake_result([(10e6, 2.0), (5e9, 1.0)])
+        factors = per_category_improvement(slow, fast)
+        assert set(factors) == {1}
+        assert factors[1] == pytest.approx(2.0)
+
+
+class TestReports:
+    def test_improvement_row_format(self):
+        row = format_improvement_row("FB-t", {"pfs": 2.0, "aalo": 1.05})
+        assert "FB-t" in row and "pfs= 2.00x" in row and "aalo= 1.05x" in row
+
+    def test_category_table_has_roman_headers(self):
+        table = format_category_table({"pfs": {1: 2.0, 3: 1.5}}, title="fig6")
+        assert "fig6" in table
+        assert "I" in table and "III" in table
+        assert "2.00" in table and "1.50" in table
+
+    def test_category_table_marks_missing(self):
+        table = format_category_table({"pfs": {1: 2.0}, "aalo": {2: 1.0}})
+        assert "-" in table
+
+    def test_jct_table_sorted_fastest_first(self):
+        table = format_jct_table({"slow": 3.0, "fast": 1.0})
+        assert table.index("fast") < table.index("slow")
+
+    def test_bar_chart_scales_to_peak(self):
+        from repro.metrics import format_bar_chart
+
+        chart = format_bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a")  # sorted descending
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "2.00x" in lines[0]
+
+    def test_bar_chart_empty_and_zero(self):
+        from repro.metrics import format_bar_chart
+
+        assert format_bar_chart({}) == "(no data)"
+        chart = format_bar_chart({"a": 0.0})
+        assert "0.00" in chart

@@ -1,0 +1,77 @@
+"""Unit tests for path enumeration and critical paths."""
+
+import pytest
+
+from repro.jobs import (
+    JobBuilder,
+    critical_path,
+    critical_path_coflows,
+    enumerate_paths,
+    path_cost,
+)
+from repro.jobs.dag import CoflowDag
+
+
+class TestEnumeration:
+    def test_chain_has_single_path(self):
+        dag = CoflowDag([0, 1, 2], [(0, 1), (1, 2)])
+        assert enumerate_paths(dag) == [(0, 1, 2)]
+
+    def test_diamond_has_two_paths(self):
+        dag = CoflowDag([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert sorted(enumerate_paths(dag)) == [(0, 1, 3), (0, 2, 3)]
+
+    def test_limit_enforced(self):
+        dag = CoflowDag([0, 1, 2], [(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            enumerate_paths(dag, limit=1)
+
+
+class TestCriticalPath:
+    def test_picks_heaviest_path(self):
+        dag = CoflowDag([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        costs = {0: 1.0, 1: 10.0, 2: 2.0, 3: 1.0}
+        path, total = critical_path(dag, costs.__getitem__)
+        assert path == (0, 1, 3)
+        assert total == pytest.approx(12.0)
+
+    def test_matches_brute_force_enumeration(self):
+        dag = CoflowDag(
+            list(range(6)),
+            [(0, 2), (1, 2), (2, 4), (3, 4), (2, 5)],
+        )
+        costs = {0: 3.0, 1: 1.0, 2: 2.0, 3: 9.0, 4: 1.0, 5: 4.0}
+        _, dp_total = critical_path(dag, costs.__getitem__)
+        brute = max(
+            sum(costs[c] for c in path) for path in enumerate_paths(dag)
+        )
+        assert dp_total == pytest.approx(brute)
+
+    def test_empty_dag(self):
+        path, total = critical_path(CoflowDag([]), lambda c: 1.0)
+        assert path == ()
+        assert total == 0.0
+
+    def test_job_level_uses_max_flow_over_rate(self, ids):
+        builder = JobBuilder(ids=ids)
+        a = builder.add_coflow([(0, 1, 100.0), (0, 2, 10.0)])
+        b = builder.add_coflow([(1, 2, 30.0)], depends_on=[a])
+        job = builder.build()
+        path, total = critical_path_coflows(job, processing_rate=10.0)
+        assert path == (a, b)
+        assert total == pytest.approx((100.0 + 30.0) / 10.0)
+
+    def test_rate_must_be_positive(self, diamond_job):
+        with pytest.raises(ValueError):
+            critical_path_coflows(diamond_job, processing_rate=0.0)
+
+
+class TestPathCost:
+    def test_valid_chain_summed(self):
+        dag = CoflowDag([0, 1, 2], [(0, 1), (1, 2)])
+        assert path_cost(dag, (0, 1, 2), lambda c: float(c + 1)) == 6.0
+
+    def test_invalid_chain_rejected(self):
+        dag = CoflowDag([0, 1, 2], [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            path_cost(dag, (0, 2), lambda c: 1.0)

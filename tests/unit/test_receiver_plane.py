@@ -1,0 +1,124 @@
+"""Unit tests for the receiver observation plane (flow-table path)."""
+
+import pytest
+
+from repro.core.receiver import (
+    CoflowObservation,
+    ObservationPlane,
+    ReceiverAgent,
+)
+from repro.jobs import IdAllocator, JobBuilder
+
+
+def two_receiver_coflow(ids):
+    builder = JobBuilder(ids=ids)
+    cid = builder.add_coflow(
+        [(0, 4, 100.0), (1, 4, 60.0), (2, 5, 40.0)]
+    )
+    job = builder.build()
+    return job, job.coflow(cid)
+
+
+class TestReceiverAgent:
+    def test_open_account_report(self, ids):
+        _job, coflow = two_receiver_coflow(ids)
+        coflow.release(0.0)
+        agent = ReceiverAgent(host=4)
+        for flow in coflow.flows:
+            if flow.dst == 4:
+                agent.open_connection(flow)
+        agent.account(coflow.flows[0], 30.0)
+        report = agent.report()
+        stats = report.per_coflow[coflow.coflow_id]
+        open_connections, bytes_received, max_bytes, num_flows = stats
+        assert open_connections == 2
+        assert bytes_received == pytest.approx(30.0)
+        assert max_bytes == pytest.approx(30.0)
+        assert num_flows == 2
+
+    def test_close_settles_final_bytes(self, ids):
+        _job, coflow = two_receiver_coflow(ids)
+        coflow.release(0.0)
+        flow = coflow.flows[0]
+        agent = ReceiverAgent(host=4)
+        agent.open_connection(flow)
+        flow.rate = 10.0
+        flow.advance(10.0)  # delivered 100 of 100
+        flow.finish(10.0)
+        agent.close_connection(flow)
+        stats = agent.report().per_coflow[coflow.coflow_id]
+        assert stats[0] == 0  # no open connections
+        assert stats[1] == pytest.approx(100.0)  # but bytes fully settled
+
+    def test_evict_coflow_only_drops_closed(self, ids):
+        _job, coflow = two_receiver_coflow(ids)
+        coflow.release(0.0)
+        agent = ReceiverAgent(host=4)
+        flows = [f for f in coflow.flows if f.dst == 4]
+        for flow in flows:
+            agent.open_connection(flow)
+        flows[0].finish(1.0)
+        agent.close_connection(flows[0])
+        assert agent.evict_coflow(coflow.coflow_id) == 1
+        assert len(agent.table) == 1  # the still-open record remains
+
+
+class TestObservationPlane:
+    def _run_plane(self, ids, deliver):
+        job, coflow = two_receiver_coflow(ids)
+        coflow.release(0.0)
+        plane = ObservationPlane()
+        plane.on_coflow_release(coflow)
+        for flow, bytes_done in zip(coflow.flows, deliver):
+            flow.rate = 1.0
+            flow.advance(bytes_done)
+        plane.sync_bytes(coflow.flows)
+        return job, coflow, plane
+
+    def test_merges_across_receivers(self, ids):
+        _job, coflow, plane = self._run_plane(ids, (50.0, 20.0, 10.0))
+        assert plane.num_agents == 2
+        obs = plane.observe_coflows([coflow.coflow_id])[coflow.coflow_id]
+        assert obs.open_connections == 3
+        assert obs.bytes_received == pytest.approx(80.0)
+        assert obs.max_flow_bytes == pytest.approx(50.0)
+        assert obs.num_flows == 3
+        assert obs.mean_flow_bytes == pytest.approx(80.0 / 3)
+
+    def test_sync_is_idempotent(self, ids):
+        _job, coflow, plane = self._run_plane(ids, (50.0, 20.0, 10.0))
+        plane.sync_bytes(coflow.flows)
+        plane.sync_bytes(coflow.flows)
+        obs = plane.observe_coflows([coflow.coflow_id])[coflow.coflow_id]
+        assert obs.bytes_received == pytest.approx(80.0)
+
+    def test_matches_direct_coflow_observables(self, ids):
+        """The plane's merged view equals the coflow's own counters —
+        the equivalence the fast path relies on."""
+        _job, coflow, plane = self._run_plane(ids, (50.0, 20.0, 10.0))
+        obs = plane.observe_coflows([coflow.coflow_id])[coflow.coflow_id]
+        assert obs.open_connections == coflow.active_width
+        assert obs.bytes_received == pytest.approx(coflow.bytes_sent)
+        assert obs.max_flow_bytes == pytest.approx(
+            coflow.observed_max_flow_bytes
+        )
+        assert obs.mean_flow_bytes == pytest.approx(
+            coflow.observed_mean_flow_bytes
+        )
+
+    def test_coflow_finish_evicts_everywhere(self, ids):
+        _job, coflow, plane = self._run_plane(ids, (100.0, 60.0, 40.0))
+        for flow in coflow.flows:
+            flow.finish(1.0)
+            plane.on_flow_finish(flow)
+        coflow.maybe_complete(1.0)
+        plane.on_coflow_finish(coflow)
+        obs = plane.observe_coflows([coflow.coflow_id])[coflow.coflow_id]
+        assert obs.num_flows == 0
+        assert obs.bytes_received == 0.0
+
+
+class TestObservationDataclass:
+    def test_mean_of_empty(self):
+        obs = CoflowObservation(1, 0, 0.0, 0.0, 0)
+        assert obs.mean_flow_bytes == 0.0

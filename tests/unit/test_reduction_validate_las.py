@@ -1,0 +1,136 @@
+"""Unit tests for the FFS-MJ reduction, workload validation, and LAS."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.jobs import IdAllocator, JobBuilder, chain_job, single_stage_job
+from repro.jobs.validate import validate_workload
+from repro.schedulers.base import SchedulerContext
+from repro.schedulers.las import LasScheduler
+from repro.simulator.bandwidth.request import AllocationMode
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.theory.exact import schedule_by_order
+from repro.theory.reduction import (
+    job_to_ffs,
+    jobs_to_ffs_instance,
+    optimal_total_jct,
+)
+
+
+class TestReduction:
+    def test_flows_become_operations(self, ids):
+        job = single_stage_job([(0, 2, 10.0), (1, 3, 20.0)], ids=ids)
+        ffs = job_to_ffs(job, processing_rate=10.0, layer_of_host={})
+        assert len(ffs.coflows) == 1
+        durations = sorted(op.duration for op in ffs.coflows[0].operations)
+        assert durations == pytest.approx([1.0, 2.0])
+
+    def test_receiver_layers_shared_across_jobs(self, ids):
+        a = single_stage_job([(0, 5, 10.0)], ids=ids)
+        b = single_stage_job([(1, 5, 10.0)], ids=ids)
+        layers = {}
+        ffs_a = job_to_ffs(a, 1.0, layers)
+        ffs_b = job_to_ffs(b, 1.0, layers)
+        assert len(layers) == 1  # both reduce onto receiver 5's machine
+        assert (
+            ffs_a.coflows[0].operations[0].layer
+            == ffs_b.coflows[0].operations[0].layer
+        )
+
+    def test_dependencies_carry_over(self, ids):
+        job = chain_job([[(0, 1, 5.0)], [(1, 2, 5.0)]], ids=ids)
+        ffs = job_to_ffs(job, 1.0, {})
+        by_id = {c.coflow_id: c for c in ffs.coflows}
+        assert by_id[1].depends_on == (0,)
+
+    def test_release_time_preserved(self, ids):
+        job = single_stage_job([(0, 1, 5.0)], arrival_time=3.0, ids=ids)
+        assert job_to_ffs(job, 1.0, {}).release_time == 3.0
+
+    def test_instance_reduction_and_schedule(self, ids):
+        jobs = [
+            single_stage_job([(0, 2, 4.0)], ids=ids),
+            single_stage_job([(1, 2, 2.0)], ids=ids),
+        ]
+        instance = jobs_to_ffs_instance(jobs, processing_rate=1.0)
+        # Both reduce onto receiver 2's machine: serial processing.
+        short_first = schedule_by_order(
+            instance, (jobs[1].job_id, jobs[0].job_id)
+        )
+        assert short_first.total_jct == pytest.approx(2.0 + 6.0)
+
+    def test_optimal_matches_sjf_on_shared_receiver(self, ids):
+        jobs = [
+            single_stage_job([(0, 2, 4.0)], ids=ids),
+            single_stage_job([(1, 2, 2.0)], ids=ids),
+        ]
+        best, _instance = optimal_total_jct(jobs, processing_rate=1.0)
+        assert best.order == (jobs[1].job_id, jobs[0].job_id)
+
+    def test_validation(self, ids):
+        job = single_stage_job([(0, 1, 1.0)], ids=ids)
+        with pytest.raises(ReproError):
+            job_to_ffs(job, 0.0, {})
+        with pytest.raises(ReproError):
+            job_to_ffs(job, 1.0, {}, layer_model="bogus")
+        with pytest.raises(ReproError):
+            jobs_to_ffs_instance([], 1.0)
+
+
+class TestValidateWorkload:
+    def test_clean_workload_passes(self, ids):
+        jobs = [single_stage_job([(0, 1, 1.0)], ids=ids)]
+        report = validate_workload(jobs, num_hosts=4)
+        assert report.ok
+        report.raise_if_invalid()  # no-op
+
+    def test_out_of_range_host_reported(self, ids):
+        jobs = [single_stage_job([(0, 9, 1.0)], ids=ids)]
+        report = validate_workload(jobs, num_hosts=4)
+        assert not report.ok
+        assert any("host 9" in error for error in report.errors)
+        with pytest.raises(Exception):
+            report.raise_if_invalid()
+
+    def test_duplicate_ids_reported(self, ids):
+        job = single_stage_job([(0, 1, 1.0)], ids=ids)
+        report = validate_workload([job, job], num_hosts=4)
+        assert any("duplicate job id" in error for error in report.errors)
+
+    def test_topology_supplies_host_count(self, ids):
+        jobs = [single_stage_job([(0, 5, 1.0)], ids=ids)]
+        topo = BigSwitchTopology(4)
+        report = validate_workload(jobs, topology=topo)
+        assert not report.ok
+
+    def test_deep_job_warns(self, ids):
+        stages = [[(i, i + 1, 1.0)] for i in range(12)]
+        jobs = [chain_job(stages, ids=ids)]
+        report = validate_workload(jobs, num_hosts=32)
+        assert report.ok  # warning, not error
+        assert any("stages" in warning for warning in report.warnings)
+
+    def test_empty_workload_is_error(self):
+        assert not validate_workload([], num_hosts=4).ok
+
+
+class TestLas:
+    def test_per_flow_demotion_ignores_coflow(self, ids):
+        # One coflow with a heavy and a light flow: LAS splits them
+        # across classes — no coflow awareness.
+        builder = JobBuilder(ids=ids)
+        builder.add_coflow([(0, 2, 1e9), (1, 3, 1e5)])
+        job = builder.build()
+        coflow = job.coflows[0]
+        for f in job.arrive(0.0):
+            f.release(0.0)
+        heavy, light = coflow.flows
+        heavy.rate = 1e8
+        heavy.advance(20.0)  # 2 GB... clamped to size; enough to demote
+        scheduler = LasScheduler()
+        scheduler.bind(
+            SchedulerContext({job.job_id: job}, {coflow.coflow_id: coflow})
+        )
+        request = scheduler.allocation(coflow.flows, 1.0)
+        assert request.mode is AllocationMode.SPQ
+        assert request.priorities[heavy.flow_id] > request.priorities[light.flow_id]

@@ -1,0 +1,78 @@
+"""Unit tests for ECMP routing and the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.jobs.flow import Flow
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.routing.ecmp import EcmpRouter, flow_hash
+from repro.simulator.topology.fattree import FatTreeTopology
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        assert flow_hash(1, 2, 3) == flow_hash(1, 2, 3)
+
+    def test_salt_changes_hash(self):
+        assert flow_hash(1, 2, 3, salt=0) != flow_hash(1, 2, 3, salt=1)
+
+    def test_distinct_flows_spread(self):
+        values = {flow_hash(i, 0, 1) % 16 for i in range(200)}
+        # 200 flows over 16 buckets should hit most buckets.
+        assert len(values) >= 12
+
+
+class TestEcmpRouter:
+    def test_same_flow_same_path(self):
+        topo = FatTreeTopology(k=4)
+        router = EcmpRouter(topo)
+        flow = Flow(flow_id=7, coflow_id=0, src=0, dst=15, size_bytes=1.0)
+        assert router.route_flow(flow) == router.route_flow(flow)
+
+    def test_flows_balance_over_paths(self):
+        topo = FatTreeTopology(k=4)
+        router = EcmpRouter(topo)
+        paths = {
+            router.route_flow(
+                Flow(flow_id=i, coflow_id=0, src=0, dst=15, size_bytes=1.0)
+            )
+            for i in range(100)
+        }
+        assert len(paths) == topo.num_route_choices(0, 15)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.JOB_ARRIVAL, "late")
+        queue.push(1.0, EventKind.JOB_ARRIVAL, "early")
+        assert queue.pop().payload == "early"
+        assert queue.pop().payload == "late"
+
+    def test_kind_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.SCHEDULER_UPDATE)
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        assert queue.pop().kind is EventKind.JOB_ARRIVAL
+
+    def test_fifo_within_same_time_and_kind(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.JOB_ARRIVAL, "first")
+        queue.push(1.0, EventKind.JOB_ARRIVAL, "second")
+        assert queue.pop().payload == "first"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventKind.JOB_ARRIVAL)
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert not queue
+        queue.push(3.0, EventKind.JOB_ARRIVAL)
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 1

@@ -1,0 +1,123 @@
+"""Unit tests for runtime internals: epochs, ticks, counters, results."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.jobs import IdAllocator, single_stage_job
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.simulator.events import EventKind
+from repro.simulator.runtime import CoflowSimulation, SimulationResult
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+
+GB = 1e9
+
+
+def make_sim(jobs):
+    return CoflowSimulation(
+        BigSwitchTopology(num_hosts=6, link_capacity=1.0 * GB),
+        PerFlowFairSharing(),
+        jobs,
+    )
+
+
+class TestJobBytesCounter:
+    def test_counter_matches_ground_truth(self, ids):
+        jobs = [
+            single_stage_job([(0, 1, 0.5 * GB)], ids=ids),
+            single_stage_job([(0, 2, 1.5 * GB)], arrival_time=0.2, ids=ids),
+        ]
+        sim = make_sim(jobs)
+        sim.run()
+        for job in jobs:
+            assert sim._job_bytes[job.job_id] == pytest.approx(
+                job.total_bytes, rel=1e-6
+            )
+
+    def test_counter_consistent_mid_run(self, ids):
+        job = single_stage_job([(0, 1, 10.0 * GB)], ids=ids)
+        sim = make_sim([job])
+        sim.run(until=2.0)
+        assert sim._job_bytes[job.job_id] == pytest.approx(
+            job.bytes_sent, rel=1e-6
+        )
+
+
+class TestTimeTick:
+    def test_tick_positive_and_scales_with_clock(self, ids):
+        sim = make_sim([single_stage_job([(0, 1, 1.0)], ids=ids)])
+        tick_at_zero = sim._time_tick()
+        assert tick_at_zero > 0
+        sim._now = 1e6
+        assert sim._time_tick() > tick_at_zero
+        assert sim._time_tick() >= math.ulp(1e6)
+
+    def test_sub_resolution_flows_complete(self, ids):
+        """A flow whose service time is below the clock's float resolution
+        must still finish (regression test for the completion livelock)."""
+        big = single_stage_job([(0, 1, 100.0 * GB)], ids=ids)
+        # Tiny flow arriving late: remaining/rate << ulp(now).
+        tiny = single_stage_job(
+            [(2, 3, 2e-5 * GB)], arrival_time=50.0, ids=ids
+        )
+        sim = make_sim([big, tiny])
+        result = sim.run()
+        assert result.all_done
+        assert result.events_processed < 10_000  # no livelock spin
+
+    def test_time_never_goes_backwards(self, ids):
+        sim = make_sim([single_stage_job([(0, 1, 1.0)], ids=ids)])
+        sim._now = 5.0
+        with pytest.raises(SimulationError):
+            sim._advance_to(4.0)
+
+
+class TestEpochInvalidation:
+    def test_stale_completion_events_are_noops(self, ids):
+        job = single_stage_job([(0, 1, 1.0 * GB)], ids=ids)
+        sim = make_sim([job])
+        # Schedule a bogus stale completion before running.
+        sim._queue.push(0.5, EventKind.FLOW_COMPLETION, epoch=-1)
+        result = sim.run()
+        assert result.all_done
+        assert job.completion_time() == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSimulationResult:
+    def _completed_result(self, ids):
+        job = single_stage_job([(0, 1, 1.0 * GB)], ids=ids)
+        return make_sim([job]).run(), job
+
+    def test_result_fields(self, ids):
+        result, job = self._completed_result(ids)
+        assert result.scheduler_name == "pfs"
+        assert result.makespan == pytest.approx(1.0, rel=1e-6)
+        assert result.all_done
+        assert result.average_cct() == pytest.approx(1.0, rel=1e-6)
+
+    def test_coflow_completion_times(self, ids):
+        result, job = self._completed_result(ids)
+        ccts = result.coflow_completion_times()
+        assert set(ccts) == {c.coflow_id for c in job.coflows}
+
+    def test_average_jct_requires_completions(self):
+        result = SimulationResult(
+            jobs=[], makespan=0.0, events_processed=0, reallocations=0,
+            scheduler_name="x",
+        )
+        with pytest.raises(SimulationError):
+            result.average_jct()
+
+
+class TestMaxEventsGuard:
+    def test_runaway_simulation_raises(self, ids):
+        job = single_stage_job([(0, 1, 1000.0 * GB)], ids=ids)
+        sim = CoflowSimulation(
+            BigSwitchTopology(num_hosts=4, link_capacity=1.0 * GB),
+            PerFlowFairSharing(),
+            [job],
+            max_events=1,
+        )
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,196 @@
+"""Unit tests for the baseline scheduling policies."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.jobs import IdAllocator, single_stage_job
+from repro.schedulers.aalo import AaloScheduler
+from repro.schedulers.baraat import BaraatScheduler
+from repro.schedulers.base import SchedulerContext
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.schedulers.stream import StreamScheduler
+from repro.schedulers.tbs import StageBytesSjf, TotalBytesSjf
+from repro.simulator.bandwidth.request import AllocationMode
+
+
+def _bind(scheduler, jobs, job_bytes=None):
+    coflows = {c.coflow_id: c for j in jobs for c in j.coflows}
+    context = SchedulerContext(
+        {j.job_id: j for j in jobs}, coflows, job_bytes
+    )
+    scheduler.bind(context)
+    return context
+
+
+def _release_all(jobs):
+    flows = []
+    for job in jobs:
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+            flows.extend(coflow.flows)
+    return flows
+
+
+class TestRegistry:
+    def test_all_paper_policies_registered(self):
+        names = available_schedulers()
+        for expected in ("pfs", "baraat", "stream", "aalo", "gurita", "gurita+"):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("nope")
+
+    def test_instances_are_fresh(self):
+        assert make_scheduler("baraat") is not make_scheduler("baraat")
+
+
+class TestPfs:
+    def test_requests_pure_maxmin(self):
+        scheduler = PerFlowFairSharing()
+        request = scheduler.allocation([], 0.0)
+        assert request.mode is AllocationMode.MAXMIN
+        assert request.priorities == {}
+
+
+class TestAalo:
+    def test_priority_follows_accumulated_job_bytes(self, ids):
+        small = single_stage_job([(0, 1, 1e6)], ids=ids)
+        big = single_stage_job([(2, 3, 1e12)], ids=ids)
+        scheduler = AaloScheduler()
+        job_bytes = {small.job_id: 0.0, big.job_id: 0.0}
+        _bind(scheduler, [small, big], job_bytes)
+        flows = _release_all([small, big])
+        # Before any bytes move, both jobs sit in the top queue.
+        request = scheduler.allocation(flows, 0.0)
+        assert set(request.priorities.values()) == {0}
+        # After the big job has pushed 50 GB, it drops to the bottom queue.
+        job_bytes[big.job_id] = 50e9
+        request = scheduler.allocation(flows, 1.0)
+        big_flow = big.coflows[0].flows[0]
+        small_flow = small.coflows[0].flows[0]
+        assert request.priorities[big_flow.flow_id] == 3
+        assert request.priorities[small_flow.flow_id] == 0
+
+
+class TestBaraat:
+    def test_fifo_order_by_arrival(self, ids):
+        jobs = [single_stage_job([(i, 10 + i, 1e6)], ids=ids) for i in range(3)]
+        scheduler = BaraatScheduler(num_classes=8)
+        _bind(scheduler, jobs)
+        for index, job in enumerate(jobs):
+            scheduler.on_job_arrival(job, float(index))
+        flows = _release_all(jobs)
+        request = scheduler.allocation(flows, 3.0)
+        classes = [
+            request.priorities[j.coflows[0].flows[0].flow_id] for j in jobs
+        ]
+        assert classes == [0, 1, 2]
+
+    def test_heavy_head_shares_its_class(self, ids):
+        jobs = [single_stage_job([(i, 10 + i, 1e12)], ids=ids) for i in range(2)]
+        scheduler = BaraatScheduler(num_classes=8, heavy_bytes=1e6)
+        job_bytes = {j.job_id: 0.0 for j in jobs}
+        _bind(scheduler, jobs, job_bytes)
+        for index, job in enumerate(jobs):
+            scheduler.on_job_arrival(job, float(index))
+        flows = _release_all(jobs)
+        # Make the head job heavy: it stops consuming a FIFO slot.
+        head = jobs[0]
+        for flow in head.coflows[0].flows:
+            flow.rate = 1.0
+            flow.advance(2e6)
+        request = scheduler.allocation(flows, 1.0)
+        classes = [
+            request.priorities[j.coflows[0].flows[0].flow_id] for j in jobs
+        ]
+        assert classes == [0, 0]  # limited multiplexing kicked in
+
+    def test_completed_jobs_leave_the_queue(self, ids):
+        jobs = [single_stage_job([(i, 10 + i, 1e6)], ids=ids) for i in range(2)]
+        scheduler = BaraatScheduler()
+        _bind(scheduler, jobs)
+        for index, job in enumerate(jobs):
+            scheduler.on_job_arrival(job, float(index))
+        flows = _release_all(jobs)
+        first = jobs[0]
+        for flow in first.coflows[0].flows:
+            flow.finish(1.0)
+        first.coflows[0].maybe_complete(1.0)
+        first.maybe_complete(1.0)
+        request = scheduler.allocation(
+            [f for f in flows if not f.is_done], 1.0
+        )
+        second_flow = jobs[1].coflows[0].flows[0]
+        assert request.priorities[second_flow.flow_id] == 0
+
+
+class TestStream:
+    def test_uses_lagged_observations(self, ids):
+        job = single_stage_job([(0, 1, 1e12)], ids=ids)
+        scheduler = StreamScheduler()
+        job_bytes = {job.job_id: 0.0}
+        _bind(scheduler, [job], job_bytes)
+        scheduler.on_job_arrival(job, 0.0)
+        flows = _release_all([job])
+        # Bytes moved but no observation round yet: still top priority.
+        job_bytes[job.job_id] = 50e9
+        request = scheduler.allocation(flows, 0.0)
+        assert request.priorities[flows[0].flow_id] == 0
+        # After the periodic snapshot the demotion lands.
+        assert scheduler.on_update(0.008) is True
+        request = scheduler.allocation(flows, 0.008)
+        assert request.priorities[flows[0].flow_id] == 3
+
+    def test_wide_coflows_demoted_extra_class(self, ids):
+        specs = [(i, 100 + i, 1e3) for i in range(60)]
+        job = single_stage_job(specs, ids=ids)
+        scheduler = StreamScheduler(wide_coflow=50)
+        _bind(scheduler, [job], {job.job_id: 0.0})
+        flows = _release_all([job])
+        request = scheduler.allocation(flows, 0.0)
+        assert request.priorities[flows[0].flow_id] == 1
+
+    def test_quiet_update_reports_no_change(self, ids):
+        job = single_stage_job([(0, 1, 1e6)], ids=ids)
+        scheduler = StreamScheduler()
+        _bind(scheduler, [job], {job.job_id: 0.0})
+        scheduler.on_job_arrival(job, 0.0)
+        assert scheduler.on_update(0.008) is False
+
+
+class TestTbs:
+    def test_total_bytes_ranking(self, ids):
+        small = single_stage_job([(0, 1, 1e6)], ids=ids)
+        big = single_stage_job([(2, 3, 1e9)], ids=ids)
+        scheduler = TotalBytesSjf()
+        _bind(scheduler, [small, big])
+        flows = _release_all([small, big])
+        request = scheduler.allocation(flows, 0.0)
+        assert request.priorities[small.coflows[0].flows[0].flow_id] == 0
+        assert request.priorities[big.coflows[0].flows[0].flow_id] == 1
+
+    def test_stage_ranking_ignores_history(self, ids):
+        from repro.jobs import chain_job
+
+        # Big job in a tiny stage vs a medium single-stage job.
+        big = chain_job([[(0, 1, 1e9)], [(1, 2, 1e5)]], ids=ids)
+        medium = single_stage_job([(3, 4, 1e6)], ids=ids)
+        scheduler = StageBytesSjf()
+        _bind(scheduler, [big, medium])
+        # Manually walk big into its second (tiny) stage.
+        for coflow in big.arrive(0.0):
+            coflow.release(0.0)
+        first = big.coflows[0]
+        for flow in first.flows:
+            flow.finish(1.0)
+        first.maybe_complete(1.0)
+        for coflow in big.releasable_after(first.coflow_id):
+            coflow.release(1.0)
+        medium_flows = _release_all([medium])
+        active = [big.coflows[1].flows[0]] + medium_flows
+        request = scheduler.allocation(active, 1.0)
+        # Stage-aware: big job's 0.1 MB stage outranks the 1 MB job.
+        assert request.priorities[big.coflows[1].flows[0].flow_id] == 0
+        assert request.priorities[medium_flows[0].flow_id] == 1

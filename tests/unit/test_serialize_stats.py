@@ -1,0 +1,105 @@
+"""Unit tests for result serialization and workload statistics."""
+
+import pytest
+
+from repro.jobs import IdAllocator, single_stage_job
+from repro.metrics.serialize import (
+    comparison_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
+)
+from repro.schedulers.pfs import PerFlowFairSharing
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.workloads.fbtrace import synthesize_trace
+from repro.workloads.generator import synthesize_workload
+from repro.workloads.stats import (
+    Distribution,
+    format_trace_stats,
+    trace_stats,
+    workload_stats,
+)
+
+
+def small_result(seed=1, scheduler=None):
+    ids = IdAllocator()
+    jobs = [
+        single_stage_job([(0, 1, 20e6)], ids=ids),
+        single_stage_job([(2, 3, 500e6)], arrival_time=0.01, ids=ids),
+    ]
+    topo = BigSwitchTopology(num_hosts=4, link_capacity=1e9)
+    return simulate(topo, scheduler or PerFlowFairSharing(), jobs)
+
+
+class TestSerialize:
+    def test_result_record_fields(self):
+        record = result_to_dict(small_result())
+        assert record["scheduler"] == "pfs"
+        assert record["average_jct"] > 0
+        assert len(record["jobs"]) == 2
+        job_record = record["jobs"][0]
+        assert {"job_id", "jct", "category", "num_stages"} <= set(job_record)
+
+    def test_comparison_record_includes_improvements(self):
+        results = {"pfs": small_result(), "gurita": small_result()}
+        record = comparison_to_dict(results, reference="gurita")
+        assert set(record["results"]) == {"pfs", "gurita"}
+        assert record["improvement_over_reference"]["pfs"] == pytest.approx(1.0)
+
+    def test_json_roundtrip(self, tmp_path):
+        record = comparison_to_dict({"pfs": small_result()}, reference="pfs")
+        path = save_json(record, tmp_path / "sub" / "out.json")
+        loaded = load_json(path)
+        assert loaded["reference"] == "pfs"
+        assert loaded["results"]["pfs"]["scheduler"] == "pfs"
+
+
+class TestDistribution:
+    def test_summary_values(self):
+        dist = Distribution.from_values(list(range(1, 101)))
+        assert dist.count == 100
+        assert dist.minimum == 1
+        assert dist.maximum == 100
+        assert dist.median == pytest.approx(51)
+        assert dist.p90 == pytest.approx(91)
+        assert dist.mean == pytest.approx(50.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.from_values([])
+
+
+class TestTraceStats:
+    def test_census_and_tail(self):
+        trace = synthesize_trace(150, num_machines=200, seed=3)
+        stats = trace_stats(trace)
+        assert stats.sizes.count == 150
+        assert sum(stats.category_census.values()) == 150
+        # The Facebook trace's signature: the top decile carries most bytes.
+        assert stats.bytes_share_top_decile > 0.5
+
+    def test_format_is_readable(self):
+        trace = synthesize_trace(30, num_machines=100, seed=4)
+        text = format_trace_stats(trace_stats(trace))
+        assert "category census" in text
+        assert "top-decile byte share" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats([])
+
+
+class TestWorkloadStats:
+    def test_multi_stage_profile(self):
+        jobs = synthesize_workload(12, 32, structure="fb-tao", seed=5)
+        stats = workload_stats(jobs)
+        assert stats.num_jobs == 12
+        assert stats.stage_depths.minimum >= 1
+        # FB-Tao front-loads bytes: stage 1 carries the largest share.
+        assert stats.stage_byte_profile[0] == max(stats.stage_byte_profile)
+        assert sum(stats.category_census.values()) == 12
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            workload_stats([])

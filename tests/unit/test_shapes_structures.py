@@ -1,0 +1,130 @@
+"""Unit tests for DAG shapes and the TPC-DS / FB-Tao structures."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.jobs.dag import CoflowDag
+from repro.workloads.fbtao import tao_shape, tao_volumes
+from repro.workloads.shapes import (
+    DagShape,
+    chain,
+    inverted_v,
+    multi_root,
+    parallel_chains,
+    sample_production_shape,
+    single,
+    tree,
+    w_shape,
+)
+from repro.workloads.tpcds import query42_shape, query42_volumes
+
+
+def as_dag(shape: DagShape) -> CoflowDag:
+    return CoflowDag(list(range(shape.num_nodes)), shape.edges)
+
+
+class TestShapes:
+    def test_chain_depth(self):
+        dag = as_dag(chain(5))
+        assert dag.num_stages == 5
+        assert len(dag.leaves()) == 1
+        assert len(dag.roots()) == 1
+
+    def test_tree_counts(self):
+        shape = tree(depth=3, branching=2)
+        assert shape.num_nodes == 7  # 1 + 2 + 4
+        dag = as_dag(shape)
+        assert len(dag.leaves()) == 4
+        assert dag.roots() == [0]
+        assert dag.num_stages == 3
+
+    def test_w_shape_has_two_roots_three_leaves(self):
+        dag = as_dag(w_shape())
+        assert len(dag.roots()) == 2
+        assert len(dag.leaves()) == 3
+        assert dag.num_stages == 2
+
+    def test_inverted_v_fanout(self):
+        dag = as_dag(inverted_v(3))
+        assert len(dag.roots()) == 3
+        assert len(dag.leaves()) == 1
+
+    def test_parallel_chains_merge(self):
+        shape = parallel_chains(num_chains=3, depth=2)
+        dag = as_dag(shape)
+        assert dag.roots() == [0]
+        assert len(dag.leaves()) == 3
+        assert dag.num_stages == 3  # chain depth 2 + merge
+
+    def test_multi_root_is_acyclic_with_multiple_outputs(self):
+        dag = as_dag(multi_root(num_roots=2, num_leaves=3))
+        assert len(dag.roots()) == 2
+
+    def test_single(self):
+        assert single().num_nodes == 1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            chain(0)
+        with pytest.raises(WorkloadError):
+            tree(0)
+        with pytest.raises(WorkloadError):
+            inverted_v(1)
+
+    def test_production_mix_is_valid_and_varied(self):
+        rng = random.Random(0)
+        names = set()
+        for _ in range(200):
+            shape = sample_production_shape(rng)
+            as_dag(shape)  # must not raise
+            names.add(shape.name.split("-")[0])
+        # The mix covers several families.
+        assert {"tree", "chain", "w"} <= names
+
+    def test_production_mix_mean_depth_near_five(self):
+        rng = random.Random(1)
+        depths = [
+            as_dag(sample_production_shape(rng)).num_stages for _ in range(300)
+        ]
+        mean = sum(depths) / len(depths)
+        assert 2.5 <= mean <= 5.5
+
+
+class TestTpcds:
+    def test_query42_is_seven_node_depth_five(self):
+        shape = query42_shape()
+        dag = as_dag(shape)
+        assert shape.num_nodes == 7
+        assert dag.num_stages == 5
+        assert len(dag.leaves()) == 3  # three scans
+        assert len(dag.roots()) == 1  # the final sort
+
+    def test_volumes_sum_to_total(self):
+        volumes = query42_volumes(1000.0)
+        assert sum(volumes) == pytest.approx(1000.0)
+        # The fact-table scan dominates.
+        assert max(volumes) == volumes[1]
+
+
+class TestFbTao:
+    def test_shape_depth_four(self):
+        dag = as_dag(tao_shape(fanout=3))
+        assert dag.num_stages == 4
+        assert len(dag.leaves()) == 3
+        assert dag.roots() == [0]
+
+    def test_volumes_sum_and_front_load(self):
+        volumes = tao_volumes(1000.0, fanout=3)
+        assert sum(volumes) == pytest.approx(1000.0)
+        # Early fetch stages carry most bytes; respond is tiny.
+        assert volumes[0] == pytest.approx(20.0)  # respond
+        fetch_a = volumes[3]
+        assert fetch_a > volumes[0]
+
+    def test_fanout_validation(self):
+        with pytest.raises(WorkloadError):
+            tao_shape(0)
+        with pytest.raises(WorkloadError):
+            tao_volumes(1.0, 0)

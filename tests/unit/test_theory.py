@@ -1,0 +1,150 @@
+"""Unit tests for the theory toolkit: Johnson, FFS-MJ, COSP, worked examples."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.theory import (
+    CospJob,
+    FIG2_PAPER_STAGE_AWARE_AVERAGE,
+    FIG2_PAPER_TBS_AVERAGE,
+    FIG4_PAPER_BLOCKING_AVERAGE,
+    FIG4_PAPER_LEAST_BLOCKING_AVERAGE,
+    TwoMachineJob,
+    brute_force_best,
+    brute_force_best_order,
+    brute_force_worst,
+    figure2_averages,
+    figure2_schedules,
+    figure4_averages,
+    figure4_instance,
+    flow_shop_completion_times,
+    flow_shop_makespan,
+    johnson_order,
+    permutation_completion_times,
+    schedule_by_order,
+    single_stage_instance,
+    smallest_max_work_first,
+    total_completion_time,
+)
+from repro.theory.examples import (
+    FIG2_PAPER_STAGE_AWARE_JCTS,
+    FIG2_PAPER_TBS_JCTS,
+)
+
+
+class TestJohnson:
+    def test_textbook_instance(self):
+        jobs = [
+            TwoMachineJob(0, 3, 6),
+            TwoMachineJob(1, 5, 2),
+            TwoMachineJob(2, 1, 2),
+        ]
+        order = [j.job_id for j in johnson_order(jobs)]
+        assert order == [2, 0, 1]
+
+    def test_optimal_among_all_permutations(self):
+        import itertools
+
+        jobs = [
+            TwoMachineJob(0, 4.0, 3.0),
+            TwoMachineJob(1, 1.0, 2.0),
+            TwoMachineJob(2, 5.0, 4.0),
+            TwoMachineJob(3, 2.0, 6.0),
+        ]
+        best = min(
+            flow_shop_makespan(perm)
+            for perm in itertools.permutations(jobs)
+        )
+        assert flow_shop_makespan(johnson_order(jobs)) == pytest.approx(best)
+
+    def test_completion_times_monotone(self):
+        jobs = [TwoMachineJob(i, 1.0, 1.0) for i in range(4)]
+        times = [t for _j, t in flow_shop_completion_times(jobs)]
+        assert times == sorted(times)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TwoMachineJob(0, -1.0, 1.0)
+
+
+class TestWorkedExamples:
+    def test_figure2_matches_paper_exactly(self):
+        tbs_avg, stage_avg = figure2_averages()
+        assert tbs_avg == pytest.approx(FIG2_PAPER_TBS_AVERAGE)
+        assert stage_avg == pytest.approx(FIG2_PAPER_STAGE_AWARE_AVERAGE)
+
+    def test_figure2_per_job_jcts(self):
+        schedules = figure2_schedules()
+        assert schedules["tbs"].job_completion == pytest.approx(
+            FIG2_PAPER_TBS_JCTS
+        )
+        assert schedules["stage-aware"].job_completion == pytest.approx(
+            FIG2_PAPER_STAGE_AWARE_JCTS
+        )
+
+    def test_figure4_matches_paper_exactly(self):
+        blocking, least = figure4_averages()
+        assert blocking == pytest.approx(FIG4_PAPER_BLOCKING_AVERAGE)
+        assert least == pytest.approx(FIG4_PAPER_LEAST_BLOCKING_AVERAGE)
+
+    def test_figure4_least_blocking_is_brute_force_optimal(self):
+        best = brute_force_best(figure4_instance())
+        assert best.average_jct == pytest.approx(
+            FIG4_PAPER_LEAST_BLOCKING_AVERAGE
+        )
+
+
+class TestExactSolver:
+    def test_single_machine_sjf_is_optimal(self):
+        instance = single_stage_instance([[3.0], [1.0], [2.0]])
+        best = brute_force_best(instance)
+        assert best.order == (1, 2, 0)  # shortest first
+        assert best.total_jct == pytest.approx(1 + 3 + 6)
+
+    def test_worst_is_reverse_sjf_on_single_machine(self):
+        instance = single_stage_instance([[3.0], [1.0], [2.0]])
+        worst = brute_force_worst(instance)
+        assert worst.total_jct >= brute_force_best(instance).total_jct
+
+    def test_order_must_cover_jobs(self):
+        instance = single_stage_instance([[1.0], [2.0]])
+        with pytest.raises(ReproError):
+            schedule_by_order(instance, (0,))
+
+    def test_brute_force_size_guard(self):
+        instance = single_stage_instance([[1.0]] * 9)
+        with pytest.raises(ReproError):
+            brute_force_best(instance)
+
+    def test_parallel_machines_used(self):
+        instance = single_stage_instance([[4.0, 4.0]], machines=2)
+        schedule = schedule_by_order(instance, (0,))
+        assert schedule.makespan == pytest.approx(4.0)
+
+
+class TestCosp:
+    def test_permutation_completion(self):
+        jobs = [CospJob(0, (2.0, 1.0)), CospJob(1, (1.0, 3.0))]
+        completion = permutation_completion_times(jobs, (0, 1))
+        assert completion[0] == pytest.approx(2.0)
+        assert completion[1] == pytest.approx(4.0)
+
+    def test_sebf_heuristic_close_to_optimal(self):
+        jobs = [
+            CospJob(0, (5.0, 1.0)),
+            CospJob(1, (1.0, 1.0)),
+            CospJob(2, (2.0, 4.0)),
+        ]
+        heuristic = total_completion_time(jobs, smallest_max_work_first(jobs))
+        _best_order, best = brute_force_best_order(jobs)
+        assert heuristic <= best * 1.5
+
+    def test_brute_force_guard(self):
+        jobs = [CospJob(i, (1.0,)) for i in range(9)]
+        with pytest.raises(ReproError):
+            brute_force_best_order(jobs)
+
+    def test_mismatched_machine_counts_rejected(self):
+        jobs = [CospJob(0, (1.0,)), CospJob(1, (1.0, 2.0))]
+        with pytest.raises(ReproError):
+            permutation_completion_times(jobs, (0, 1))

@@ -1,0 +1,50 @@
+"""Unit tests for exponential priority thresholds."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.schedulers.thresholds import ExponentialThresholds
+
+
+class TestBoundaries:
+    def test_default_spacing_is_powers_of_ten(self):
+        thresholds = ExponentialThresholds(4, first=10e6, base=10.0)
+        assert thresholds.boundaries == pytest.approx([10e6, 100e6, 1000e6])
+
+    def test_single_class_has_no_boundaries(self):
+        assert ExponentialThresholds(1).boundaries == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SchedulerError):
+            ExponentialThresholds(0)
+        with pytest.raises(SchedulerError):
+            ExponentialThresholds(4, first=-1.0)
+        with pytest.raises(SchedulerError):
+            ExponentialThresholds(4, base=1.0)
+
+
+class TestClassification:
+    def test_small_scores_get_top_class(self):
+        thresholds = ExponentialThresholds(4, first=10.0, base=10.0)
+        assert thresholds.class_of(0.0) == 0
+        assert thresholds.class_of(9.99) == 0
+
+    def test_boundary_is_exclusive_of_lower_class(self):
+        thresholds = ExponentialThresholds(4, first=10.0, base=10.0)
+        assert thresholds.class_of(10.0) == 1
+        assert thresholds.class_of(100.0) == 2
+
+    def test_huge_scores_get_bottom_class(self):
+        thresholds = ExponentialThresholds(4, first=10.0, base=10.0)
+        assert thresholds.class_of(1e12) == 3
+
+    def test_monotone_in_score(self):
+        thresholds = ExponentialThresholds(8, first=1.0, base=2.0)
+        scores = [0.5 * 2**i for i in range(12)]
+        classes = [thresholds.class_of(s) for s in scores]
+        assert classes == sorted(classes)
+
+    def test_demoted_applies_floor(self):
+        thresholds = ExponentialThresholds(4, first=10.0, base=10.0)
+        assert thresholds.demoted(0.0, floor_class=2) == 2
+        assert thresholds.demoted(1e9, floor_class=2) == 3

@@ -1,0 +1,123 @@
+"""Unit tests for the big-switch fabric and FatTree topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.simulator.topology.fattree import FatTreeTopology
+from repro.simulator.topology.links import LinkTable, TEN_GBPS
+
+
+class TestLinkTable:
+    def test_ids_are_sequential(self):
+        table = LinkTable()
+        assert table.add("a", "b", 1.0) == 0
+        assert table.add("b", "a", 1.0) == 1
+        assert len(table) == 2
+
+    def test_duplicate_rejected(self):
+        table = LinkTable()
+        table.add("a", "b", 1.0)
+        with pytest.raises(TopologyError):
+            table.add("a", "b", 2.0)
+
+    def test_duplex_adds_both_directions(self):
+        table = LinkTable()
+        forward, backward = table.add_duplex("a", "b", 3.0)
+        assert table.id_of("a", "b") == forward
+        assert table.id_of("b", "a") == backward
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(TopologyError):
+            LinkTable().id_of("x", "y")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            LinkTable().add("a", "b", 0.0)
+
+
+class TestBigSwitch:
+    def test_route_is_uplink_downlink(self):
+        topo = BigSwitchTopology(4)
+        route = topo.route(1, 3, selector=0)
+        assert route == (topo.uplink_of(1), topo.downlink_of(3))
+
+    def test_single_route_choice(self):
+        assert BigSwitchTopology(4).num_route_choices(0, 1) == 1
+
+    def test_self_route_rejected(self):
+        with pytest.raises(TopologyError):
+            BigSwitchTopology(4).route(2, 2, 0)
+
+    def test_host_validation(self):
+        with pytest.raises(TopologyError):
+            BigSwitchTopology(4).route(0, 9, 0)
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(TopologyError):
+            BigSwitchTopology(1)
+
+
+class TestFatTree:
+    def test_paper_8_pod_dimensions(self):
+        """The paper's topology: 128 servers and 80 switches at k=8."""
+        topo = FatTreeTopology(k=8)
+        assert topo.num_hosts == 128
+        assert topo.num_switches == 80
+
+    def test_48_pod_dimensions(self):
+        """The bursty scenario's scale: 27648 servers, 2880 switches."""
+        topo = FatTreeTopology(k=48)
+        assert topo.num_hosts == 27_648
+        assert topo.num_switches == 2_880
+
+    def test_k_must_be_even(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(k=5)
+
+    def test_route_choice_counts(self):
+        topo = FatTreeTopology(k=4)
+        # same edge switch: hosts 0 and 1
+        assert topo.num_route_choices(0, 1) == 1
+        # same pod, different edge: hosts 0 and 2
+        assert topo.num_route_choices(0, 2) == 2
+        # different pods: k/2 squared
+        assert topo.num_route_choices(0, topo.num_hosts - 1) == 4
+
+    def test_route_lengths(self):
+        topo = FatTreeTopology(k=4)
+        assert len(topo.route(0, 1, 0)) == 2  # host-edge-host
+        assert len(topo.route(0, 2, 0)) == 4  # via aggregation
+        assert len(topo.route(0, topo.num_hosts - 1, 0)) == 6  # via core
+
+    def test_routes_connect_endpoints(self):
+        topo = FatTreeTopology(k=4)
+        for selector in range(4):
+            route = topo.route(0, 15, selector)
+            links = [topo.links.link(link_id) for link_id in route]
+            assert links[0].src_node == "h0"
+            assert links[-1].dst_node == "h15"
+            for earlier, later in zip(links, links[1:]):
+                assert earlier.dst_node == later.src_node
+
+    def test_all_selectors_give_distinct_core_paths(self):
+        topo = FatTreeTopology(k=4)
+        routes = {topo.route(0, 15, s) for s in range(4)}
+        assert len(routes) == 4
+
+    def test_selector_wraps_modulo(self):
+        topo = FatTreeTopology(k=4)
+        assert topo.route(0, 15, 1) == topo.route(0, 15, 5)
+
+    def test_host_position_roundtrip(self):
+        topo = FatTreeTopology(k=4)
+        seen = set()
+        for host in range(topo.num_hosts):
+            pod, edge, port = topo.host_position(host)
+            assert 0 <= pod < 4 and 0 <= edge < 2 and 0 <= port < 2
+            seen.add((pod, edge, port))
+        assert len(seen) == topo.num_hosts
+
+    def test_default_capacity_is_ten_gigabit(self):
+        topo = FatTreeTopology(k=4)
+        assert topo.links.link(0).capacity == TEN_GBPS
