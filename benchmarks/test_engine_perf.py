@@ -1,0 +1,125 @@
+"""Incremental allocation engine: rebuild savings at identical JCTs.
+
+The engine's acceptance bench: across the scalability workloads it must
+perform at least 2x fewer full link-membership rebuilds than the legacy
+path, while every per-job completion time matches to 1e-9.  The smoke
+variant is small enough for a CI minute.
+"""
+
+import time
+
+from _util import bench_jobs
+
+from repro.experiments.common import ScenarioConfig, build_jobs
+from repro.experiments.figures import figure5_configs, figure6_config
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.bandwidth.maxmin import (
+    membership_rebuilds,
+    reset_membership_rebuilds,
+)
+from repro.simulator.observability import allocation_counters
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.fattree import FatTreeTopology
+
+JCT_TOLERANCE = 1e-9
+
+
+def _run_both(config, scheduler_name):
+    """One workload through the legacy and engine paths; return both."""
+    outcome = {}
+    for use_engine in (False, True):
+        topology = FatTreeTopology(k=config.fattree_k)
+        jobs = build_jobs(config, topology.num_hosts)
+        reset_membership_rebuilds()
+        start = time.perf_counter()
+        result = simulate(
+            topology, make_scheduler(scheduler_name), jobs, use_engine=use_engine
+        )
+        elapsed = time.perf_counter() - start
+        outcome[use_engine] = (result, membership_rebuilds(), elapsed)
+    return outcome
+
+
+def _assert_jct_parity(legacy_result, engine_result):
+    legacy = {j.job_id: j.completion_time() for j in legacy_result.jobs}
+    engine = {j.job_id: j.completion_time() for j in engine_result.jobs}
+    assert engine.keys() == legacy.keys()
+    worst = max(abs(engine[j] - legacy[j]) for j in legacy)
+    assert worst <= JCT_TOLERANCE, f"JCT divergence {worst:.3e}"
+    return worst
+
+
+def _report_row(label, outcome):
+    (legacy_result, legacy_rebuilds, legacy_s) = outcome[False]
+    (engine_result, engine_rebuilds, engine_s) = outcome[True]
+    worst = _assert_jct_parity(legacy_result, engine_result)
+    counters = allocation_counters(engine_result)
+    ratio = legacy_rebuilds / engine_rebuilds if engine_rebuilds else float("inf")
+    print(
+        f"  {label:24s} rebuilds {legacy_rebuilds:5d} -> {engine_rebuilds:3d} "
+        f"({ratio:5.1f}x)  skip {counters.skip_fraction:4.0%}  "
+        f"cache-hits {counters.cache_hits:4d}  rows {counters.rows_updated:5d}  "
+        f"{legacy_s:5.2f}s -> {engine_s:5.2f}s  maxdiff {worst:.1e}"
+    )
+    return legacy_rebuilds, engine_rebuilds
+
+
+def test_engine_smoke(run_once):
+    """CI-sized check: >=2x fewer rebuilds, identical JCTs, under a minute."""
+
+    def experiment():
+        config = ScenarioConfig(
+            name="engine-smoke", num_jobs=12, fattree_k=4, seed=11
+        )
+        return {
+            name: _run_both(config, name) for name in ("pfs", "gurita")
+        }
+
+    outcomes = run_once(experiment)
+    print("\nENGINE SMOKE  incremental vs full-rebuild allocation:")
+    for name, outcome in outcomes.items():
+        legacy_rebuilds, engine_rebuilds = _report_row(name, outcome)
+        assert engine_rebuilds * 2 <= legacy_rebuilds
+
+
+def test_engine_rebuild_savings_scalability(run_once):
+    """The acceptance criterion on the scalability workloads."""
+
+    def experiment():
+        rows = {}
+        for k, jobs_count in ((4, 20), (8, bench_jobs(40))):
+            config = ScenarioConfig(
+                name=f"engine-k{k}", num_jobs=jobs_count, fattree_k=k, seed=3
+            )
+            rows[f"k={k} jobs={jobs_count}"] = _run_both(config, "gurita")
+        return rows
+
+    rows = run_once(experiment)
+    print("\nENGINE SCALABILITY  rebuild savings (gurita policy):")
+    for label, outcome in rows.items():
+        legacy_rebuilds, engine_rebuilds = _report_row(label, outcome)
+        assert engine_rebuilds * 2 <= legacy_rebuilds
+
+
+def test_engine_parity_on_paper_workloads(run_once):
+    """Figures 5 and 6 workloads: engine JCTs match to 1e-9 everywhere."""
+
+    def experiment():
+        configs = [
+            c.with_overrides(num_jobs=bench_jobs(24))
+            for c in figure5_configs(seed=42)
+        ] + [figure6_config("fb-tao", num_jobs=bench_jobs(30), seed=42)]
+        rows = {}
+        for config in configs:
+            small = config.with_overrides(fattree_k=4)
+            rows[config.name] = _run_both(small, "gurita")
+        return rows
+
+    rows = run_once(experiment)
+    print("\nENGINE PARITY  paper workloads (gurita policy):")
+    total_legacy = total_engine = 0
+    for label, outcome in rows.items():
+        legacy_rebuilds, engine_rebuilds = _report_row(label, outcome)
+        total_legacy += legacy_rebuilds
+        total_engine += engine_rebuilds
+    assert total_engine * 2 <= total_legacy

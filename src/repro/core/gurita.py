@@ -42,6 +42,9 @@ class GuritaScheduler(SchedulerPolicy):
     """The paper's contribution: decentralized LBEF over estimated Ψ̈."""
 
     name = "gurita"
+    #: release/demotion class changes are noted precisely, so the
+    #: incremental engine moves only the affected flows between classes.
+    reports_priority_deltas = True
 
     def __init__(self, config: GuritaConfig = None) -> None:
         super().__init__()
@@ -71,13 +74,17 @@ class GuritaScheduler(SchedulerPolicy):
         # "Newly-arriving flows of a coflow are automatically assigned the
         # highest priority and are allowed to transmit at that priority
         # until a threshold is exceeded or an update is received from HR"
-        # (paper §IV.B).  This is what makes Gurita stage-sensitive: a big
-        # job entering a light stage regains the top queue, and the next
-        # δ-round demotes the stage only if its own blocking effect
-        # warrants it.
-        self._coflow_class[coflow.coflow_id] = 0
+        # (paper §IV.B) — *unless* the HR already demoted the job, in which
+        # case new flows inherit the job's current class (the demotion
+        # rule; starting over at the top queue would let every new stage of
+        # an already-demoted job cut the line until the next δ-round).
+        # This is still stage-sensitive: the next δ-round re-evaluates the
+        # stage's own blocking effect and promotes future flows if light.
+        inherited = self._job_class.get(coflow.job_id, 0)
+        self._coflow_class[coflow.coflow_id] = inherited
         for flow in coflow.flows:
-            self._flow_class[flow.flow_id] = 0
+            self._flow_class[flow.flow_id] = inherited
+            self._note_priority_change(flow.flow_id)
         if self._plane is not None:
             self._plane.on_coflow_release(coflow)
 
@@ -90,6 +97,20 @@ class GuritaScheduler(SchedulerPolicy):
         self._coflow_class.pop(coflow.coflow_id, None)
         if self._plane is not None:
             self._plane.on_coflow_finish(coflow)
+        # Keep the job class honest: it is the worst class across *running*
+        # stages, so a finished stage's demotion must not leak into stages
+        # released after it (that would reintroduce Aalo's history
+        # punishment and break the paper's stage-sensitivity claim).
+        if coflow.job_id in self._job_class:
+            assert self.context is not None
+            self._job_class[coflow.job_id] = max(
+                (
+                    self._coflow_class[c.coflow_id]
+                    for c in self.context.job(coflow.job_id).coflows
+                    if c.coflow_id in self._coflow_class
+                ),
+                default=0,
+            )
 
     def on_job_finish(self, job: Job, now: float) -> None:
         # HR excludes completed jobs from all further rounds.
@@ -141,6 +162,7 @@ class GuritaScheduler(SchedulerPolicy):
             for flow in self.context.coflow(coflow_id).flows:
                 if flow.is_active and self._flow_class.get(flow.flow_id, 0) < new_class:
                     self._flow_class[flow.flow_id] = new_class
+                    self._note_priority_change(flow.flow_id)
                     changed = True
         return changed
 

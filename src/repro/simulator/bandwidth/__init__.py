@@ -1,6 +1,22 @@
-"""Bandwidth allocation: max-min (TCP), SPQ, and WRR-emulated SPQ."""
+"""Bandwidth allocation: max-min (TCP), SPQ, and WRR-emulated SPQ.
 
-from repro.simulator.bandwidth.maxmin import allocate_maxmin, water_fill
+Two execution paths share one water-filling core:
+
+* the **legacy path** (:func:`dispatch_allocation`) rebuilds link
+  membership from a fresh route map on every call;
+* the **incremental engine** (:class:`AllocationState`) keeps membership
+  alive across allocation epochs and applies flow/priority deltas.
+"""
+
+from repro.simulator.bandwidth.engine import AllocationState, EngineStats
+from repro.simulator.bandwidth.maxmin import (
+    LinkMembership,
+    allocate_maxmin,
+    membership_rebuilds,
+    reset_membership_rebuilds,
+    water_fill,
+    water_fill_membership,
+)
 from repro.simulator.bandwidth.request import (
     DEFAULT_NUM_CLASSES,
     MAX_SWITCH_CLASSES,
@@ -8,9 +24,14 @@ from repro.simulator.bandwidth.request import (
     AllocationRequest,
     dispatch_allocation,
 )
-from repro.simulator.bandwidth.spq import allocate_spq, group_by_class
+from repro.simulator.bandwidth.spq import (
+    allocate_spq,
+    allocate_spq_memberships,
+    group_by_class,
+)
 from repro.simulator.bandwidth.wrr import (
     allocate_wrr,
+    allocate_wrr_memberships,
     class_loads_from_counts,
     spq_waiting_times,
     wrr_weights,
@@ -19,15 +40,23 @@ from repro.simulator.bandwidth.wrr import (
 __all__ = [
     "AllocationMode",
     "AllocationRequest",
+    "AllocationState",
     "DEFAULT_NUM_CLASSES",
+    "EngineStats",
+    "LinkMembership",
     "MAX_SWITCH_CLASSES",
     "allocate_maxmin",
     "allocate_spq",
+    "allocate_spq_memberships",
     "allocate_wrr",
+    "allocate_wrr_memberships",
     "class_loads_from_counts",
     "dispatch_allocation",
     "group_by_class",
+    "membership_rebuilds",
+    "reset_membership_rebuilds",
     "spq_waiting_times",
     "water_fill",
+    "water_fill_membership",
     "wrr_weights",
 ]

@@ -9,6 +9,14 @@ The implementation is vectorised over links with numpy: each round finds
 the bottleneck fair share, freezes every flow crossing a bottleneck link at
 that rate, and subtracts the allocation — the hot path of the whole
 simulator.
+
+The membership structures (which flows cross which link) are factored into
+:class:`LinkMembership` so the incremental engine
+(:mod:`repro.simulator.bandwidth.engine`) can keep them alive across
+allocation epochs and mutate them by flow add/remove deltas instead of
+rebuilding them on every call.  Every from-scratch construction is counted
+(see :func:`membership_rebuilds`) — the engine's acceptance metric is built
+on exactly this counter.
 """
 
 from __future__ import annotations
@@ -22,6 +30,138 @@ _EPSILON = 1e-9
 #: A flow's route: the directed link ids it traverses.
 Route = Tuple[int, ...]
 
+#: Full from-scratch membership constructions (non-empty flow sets only);
+#: the legacy path pays one per water-fill, the engine only on invalidation.
+_membership_rebuilds = 0
+
+
+def membership_rebuilds() -> int:
+    """How many times link-membership structures were built from scratch."""
+    return _membership_rebuilds
+
+
+def reset_membership_rebuilds() -> None:
+    """Reset the rebuild counter (benchmarks call this between runs)."""
+    global _membership_rebuilds
+    _membership_rebuilds = 0
+
+
+class LinkMembership:
+    """Per-link flow membership: who crosses each link, and how many.
+
+    Holds exactly the structures the water-filling loop needs — a route per
+    flow, an insertion-ordered member table per link, and a per-link count
+    vector — and supports O(|route|) add/remove so the incremental engine
+    can maintain one instance across allocation epochs.
+
+    ``link_members`` maps link id -> insertion-ordered dict used as an
+    ordered set (values are ``None``); deterministic iteration order is what
+    keeps engine allocations reproducible run to run.
+    """
+
+    __slots__ = ("num_links", "routes", "counts", "link_members")
+
+    def __init__(self, num_links: int) -> None:
+        self.num_links = num_links
+        self.routes: Dict[int, Route] = {}
+        self.counts = np.zeros(num_links, dtype=np.int64)
+        self.link_members: Dict[int, Dict[int, None]] = {}
+
+    @classmethod
+    def from_routes(
+        cls, flow_routes: Mapping[int, Route], num_links: int
+    ) -> "LinkMembership":
+        """Build membership from scratch (counted as a full rebuild)."""
+        global _membership_rebuilds
+        membership = cls(num_links)
+        for flow_id, route in flow_routes.items():
+            membership.add(flow_id, route)
+        if flow_routes:
+            _membership_rebuilds += 1
+        return membership
+
+    def add(self, flow_id: int, route: Route) -> None:
+        if flow_id in self.routes:
+            raise ValueError(f"flow {flow_id} already in membership")
+        self.routes[flow_id] = route
+        for link_id in route:
+            self.counts[link_id] += 1
+            self.link_members.setdefault(link_id, {})[flow_id] = None
+
+    def remove(self, flow_id: int) -> None:
+        route = self.routes.pop(flow_id)
+        for link_id in route:
+            self.counts[link_id] -= 1
+            members = self.link_members[link_id]
+            del members[flow_id]
+            if not members:
+                del self.link_members[link_id]
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self.routes
+
+
+def water_fill_membership(
+    membership: LinkMembership,
+    residual: np.ndarray,
+) -> Dict[int, float]:
+    """Max-min fair rates for ``membership`` within ``residual`` capacity.
+
+    The core of :func:`water_fill`, operating on prebuilt membership
+    structures.  ``membership`` is *not* mutated (the per-link counts are
+    copied); ``residual`` *is* mutated — allocated bandwidth is subtracted
+    and tiny negative drift is clamped — so callers can layer allocations,
+    e.g. one priority class after another.
+    """
+    rates: Dict[int, float] = {}
+    if not membership.routes:
+        return rates
+
+    res = residual
+    routes = membership.routes
+    counts = membership.counts.copy()
+    frozen: Dict[int, None] = {}
+    remaining = len(routes)
+    while remaining > 0:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shares = np.where(
+                counts > 0, np.maximum(res, 0.0) / np.maximum(counts, 1), np.inf
+            )
+        bottleneck_share = float(shares.min())
+        if not np.isfinite(bottleneck_share):
+            # Remaining flows traverse no contended link (empty routes, or
+            # inconsistent membership) — they cannot be rate-limited here.
+            for flow_id in routes:
+                if flow_id not in frozen:
+                    rates[flow_id] = 0.0
+            break
+        bottleneck_links = np.flatnonzero(shares <= bottleneck_share + _EPSILON)
+        newly_frozen: List[int] = []
+        for link_id in bottleneck_links:
+            for flow_id in membership.link_members.get(int(link_id), ()):
+                if flow_id not in frozen:
+                    frozen[flow_id] = None
+                    newly_frozen.append(flow_id)
+        if not newly_frozen:
+            # Defensive: should be impossible, but never spin forever.
+            for flow_id in routes:
+                if flow_id not in frozen:
+                    rates[flow_id] = bottleneck_share
+            break
+        for flow_id in newly_frozen:
+            rates[flow_id] = bottleneck_share
+            for link_id in routes[flow_id]:
+                res[link_id] -= bottleneck_share
+                counts[link_id] -= 1
+        remaining -= len(newly_frozen)
+
+    # Clean up float drift: clamp tiny negative residuals to zero.
+    np.clip(res, 0.0, None, out=res)
+    return rates
+
 
 def water_fill(
     flow_routes: Mapping[int, Route],
@@ -34,61 +174,19 @@ def water_fill(
     priority class after another.  Pass a ``numpy.ndarray`` to avoid a
     copy; plain lists are converted (and mutated via slice write-back).
 
+    Builds the membership structures from scratch on every call — the
+    incremental engine keeps a persistent :class:`LinkMembership` and calls
+    :func:`water_fill_membership` directly instead.
+
     Returns a rate (bytes/second) for every flow in ``flow_routes``.
     """
-    rates: Dict[int, float] = {}
     if not flow_routes:
-        return rates
+        return {}
 
     is_array = isinstance(residual, np.ndarray)
     res = residual if is_array else np.asarray(residual, dtype=float)
-
-    flow_ids = list(flow_routes)
-    routes = [flow_routes[fid] for fid in flow_ids]
-
-    # Per-link flow membership and per-link unfrozen counts.
-    counts = np.zeros(len(res), dtype=np.int64)
-    link_members: Dict[int, List[int]] = {}
-    for index, route in enumerate(routes):
-        for link_id in route:
-            counts[link_id] += 1
-            link_members.setdefault(link_id, []).append(index)
-
-    frozen = np.zeros(len(flow_ids), dtype=bool)
-    remaining = len(flow_ids)
-    while remaining > 0:
-        with np.errstate(divide="ignore", invalid="ignore"):
-            shares = np.where(
-                counts > 0, np.maximum(res, 0.0) / np.maximum(counts, 1), np.inf
-            )
-        bottleneck_share = float(shares.min())
-        if not np.isfinite(bottleneck_share):
-            # Remaining flows traverse no contended link (cannot happen for
-            # well-formed routes, but guard against it).
-            for index in np.flatnonzero(~frozen):
-                rates[flow_ids[index]] = 0.0
-            break
-        bottleneck_links = np.flatnonzero(shares <= bottleneck_share + _EPSILON)
-        newly_frozen: List[int] = []
-        for link_id in bottleneck_links:
-            for index in link_members.get(int(link_id), ()):
-                if not frozen[index]:
-                    frozen[index] = True
-                    newly_frozen.append(index)
-        if not newly_frozen:
-            # Defensive: should be impossible, but never spin forever.
-            for index in np.flatnonzero(~frozen):
-                rates[flow_ids[index]] = bottleneck_share
-            break
-        for index in newly_frozen:
-            rates[flow_ids[index]] = bottleneck_share
-            for link_id in routes[index]:
-                res[link_id] -= bottleneck_share
-                counts[link_id] -= 1
-        remaining -= len(newly_frozen)
-
-    # Clean up float drift: clamp tiny negative residuals to zero.
-    np.clip(res, 0.0, None, out=res)
+    membership = LinkMembership.from_routes(flow_routes, len(res))
+    rates = water_fill_membership(membership, res)
     if not is_array:
         residual[:] = res.tolist()
     return rates

@@ -53,6 +53,20 @@ class AllocationRequest:
                 f"got {self.num_classes}"
             )
 
+    def params_key(self) -> tuple:
+        """Everything but the priority map, as a cache-invalidation key.
+
+        The incremental engine discards its cached rates (and, when
+        ``num_classes`` changes, its per-class memberships) whenever two
+        consecutive requests disagree on this key.
+        """
+        return (
+            self.mode,
+            self.num_classes,
+            self.utilization,
+            self.weight_mode,
+        )
+
 
 def dispatch_allocation(
     request: AllocationRequest,

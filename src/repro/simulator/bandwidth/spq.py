@@ -17,7 +17,12 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.simulator.bandwidth.maxmin import Route, water_fill
+from repro.simulator.bandwidth.maxmin import (
+    LinkMembership,
+    Route,
+    water_fill,
+    water_fill_membership,
+)
 
 
 def group_by_class(
@@ -50,4 +55,21 @@ def allocate_spq(
     for class_flows in group_by_class(flow_routes, priorities, num_classes):
         if class_flows:
             rates.update(water_fill(class_flows, residual))
+    return rates
+
+
+def allocate_spq_memberships(
+    class_members: Sequence[LinkMembership],
+    residual: np.ndarray,
+) -> Dict[int, float]:
+    """SPQ rates over prebuilt per-class memberships (the engine's path).
+
+    Identical to :func:`allocate_spq` given memberships that mirror
+    :func:`group_by_class`, but performs no membership rebuilds.
+    ``residual`` is mutated (the classes layer into it in priority order).
+    """
+    rates: Dict[int, float] = {}
+    for membership in class_members:
+        if len(membership):
+            rates.update(water_fill_membership(membership, residual))
     return rates

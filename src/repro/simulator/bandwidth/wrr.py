@@ -27,7 +27,11 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.simulator.bandwidth.maxmin import Route, water_fill
+from repro.simulator.bandwidth.maxmin import (
+    LinkMembership,
+    Route,
+    water_fill_membership,
+)
 from repro.simulator.bandwidth.spq import group_by_class
 
 #: Total utilisation assumed when converting flow counts to loads; keeps
@@ -105,8 +109,35 @@ def allocate_wrr(
     2. leftover capacity is water-filled across *all* flows, their pass-1
        rates acting as a floor.
     """
+    caps = np.array(capacities, dtype=float)
     groups = group_by_class(flow_routes, priorities, num_classes)
-    counts = [len(g) for g in groups]
+    class_members = [
+        LinkMembership.from_routes(group, len(caps)) for group in groups
+    ]
+    all_flows = LinkMembership.from_routes(flow_routes, len(caps))
+    return allocate_wrr_memberships(
+        class_members,
+        all_flows,
+        caps,
+        utilization=utilization,
+        weight_mode=weight_mode,
+    )
+
+
+def allocate_wrr_memberships(
+    class_members: Sequence[LinkMembership],
+    all_flows: LinkMembership,
+    capacities: np.ndarray,
+    utilization: float = DEFAULT_UTILIZATION,
+    weight_mode: str = "inverse_wait",
+) -> Dict[int, float]:
+    """WRR rates over prebuilt memberships (shared core; the engine's path).
+
+    ``class_members`` mirror :func:`group_by_class`; ``all_flows`` is the
+    union membership used by the work-conservation pass.  ``capacities`` is
+    not mutated.
+    """
+    counts = [len(members) for members in class_members]
     weights = wrr_weights(
         class_loads_from_counts(counts, utilization), mode=weight_mode
     )
@@ -115,24 +146,24 @@ def allocate_wrr(
     # guaranteed pass itself wastes nothing.
     busy_weight = sum(w for w, c in zip(weights, counts) if c > 0)
     rates: Dict[int, float] = {}
-    caps = np.array(capacities, dtype=float)
+    caps = capacities
     consumed = np.zeros_like(caps)
 
-    for cls, class_flows in enumerate(groups):
-        if not class_flows or busy_weight <= 0:
+    for cls, members in enumerate(class_members):
+        if not len(members) or busy_weight <= 0:
             continue
         share = weights[cls] / busy_weight
         # Guaranteed budget for this class on every link.
         budget = caps * share
-        class_rates = water_fill(class_flows, budget)
+        class_rates = water_fill_membership(members, budget)
         for flow_id, rate in class_rates.items():
             rates[flow_id] = rate
-            for link_id in class_flows[flow_id]:
+            for link_id in members.routes[flow_id]:
                 consumed[link_id] += rate
 
     # Work-conservation pass: hand out whatever is left to everyone.
     leftover = np.maximum(caps - consumed, 0.0)
-    extra = water_fill(dict(flow_routes), leftover)
+    extra = water_fill_membership(all_flows, leftover)
     for flow_id, bonus in extra.items():
         rates[flow_id] = rates.get(flow_id, 0.0) + bonus
     return rates

@@ -1,10 +1,16 @@
-"""Observability: link utilisation and priority-class accounting.
+"""Observability: link utilisation, class accounting, engine counters.
 
 An optional probe that snapshots the network at every reallocation:
 per-link utilisation, bytes served per priority class, and a starvation
 detector (flows stuck at rate zero).  Used by the ablation benches to
 *show* — rather than assert — that Gurita's WRR emulation removes
 starvation while raw SPQ exhibits it.
+
+Also the reporting surface for the incremental allocation engine:
+:func:`allocation_counters` condenses a run's epoch bookkeeping (epochs
+skipped via the dirty flag, rate-cache hits, incremental rows applied,
+full membership rebuilds) into one :class:`AllocationCounters` snapshot —
+the acceptance metric for the engine is read from here.
 """
 
 from __future__ import annotations
@@ -12,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.simulator.runtime import CoflowSimulation
+from repro.simulator.bandwidth.engine import EngineStats
+from repro.simulator.bandwidth.maxmin import (
+    membership_rebuilds,
+    reset_membership_rebuilds,
+)
+from repro.simulator.runtime import CoflowSimulation, SimulationResult
 
 
 @dataclass
@@ -37,6 +48,44 @@ class ClassAccounting:
         cls = priority if priority is not None else 0
         self.bytes_served[cls] = self.bytes_served.get(cls, 0.0) + rate * elapsed
         self.flow_seconds[cls] = self.flow_seconds.get(cls, 0.0) + elapsed
+
+
+@dataclass
+class AllocationCounters:
+    """One run's allocation-epoch bookkeeping, for reports and benches."""
+
+    #: reallocation epochs actually computed
+    reallocations: int
+    #: event batches where the dirty flag let the runtime skip reallocation
+    epochs_skipped: int
+    #: allocations answered from the engine's cached rate vector
+    cache_hits: int
+    #: membership rows touched incrementally (flow add/remove/class move)
+    rows_updated: int
+    #: per-class membership rebuilds triggered by cache invalidation
+    full_rebuilds: int
+
+    @property
+    def skip_fraction(self) -> float:
+        total = self.reallocations + self.epochs_skipped
+        return self.epochs_skipped / total if total else 0.0
+
+
+def allocation_counters(result: SimulationResult) -> AllocationCounters:
+    """Condense a result's engine statistics into one counter snapshot.
+
+    Works for legacy (engine-off) runs too — the engine-specific counters
+    read zero there, while ``epochs_skipped`` (a runtime-level feature)
+    stays meaningful.
+    """
+    stats = result.engine_stats if result.engine_stats is not None else EngineStats()
+    return AllocationCounters(
+        reallocations=result.reallocations,
+        epochs_skipped=result.epochs_skipped,
+        cache_hits=stats.cache_hits,
+        rows_updated=stats.delta_updates,
+        full_rebuilds=stats.full_rebuilds,
+    )
 
 
 class NetworkProbe:
@@ -134,3 +183,8 @@ class NetworkProbe:
 
     def bytes_by_class(self) -> Dict[int, float]:
         return dict(self.class_accounting.bytes_served)
+
+    def engine_stats(self) -> Optional[EngineStats]:
+        """Live incremental-engine counters (None when the engine is off)."""
+        engine = self.simulation.engine
+        return engine.stats if engine is not None else None

@@ -26,6 +26,7 @@ from repro.jobs.coflow import Coflow
 from repro.jobs.flow import VOLUME_EPSILON, Flow
 from repro.jobs.job import Job
 from repro.schedulers.context import SchedulerContext
+from repro.simulator.bandwidth.engine import AllocationState, EngineStats
 from repro.simulator.bandwidth.request import dispatch_allocation
 from repro.simulator.events import EventKind, EventQueue
 from repro.simulator.routing.ecmp import EcmpRouter
@@ -47,6 +48,10 @@ class SimulationResult:
     events_processed: int
     reallocations: int
     scheduler_name: str
+    #: event batches whose dirty flag stayed clean (reallocation skipped)
+    epochs_skipped: int = 0
+    #: incremental-engine counters (None when the engine was disabled)
+    engine_stats: Optional[EngineStats] = None
 
     def job_completion_times(self) -> Dict[int, float]:
         """JCT per completed job id."""
@@ -95,6 +100,7 @@ class CoflowSimulation:
         jobs: Sequence[Job],
         router: Optional[EcmpRouter] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
+        use_engine: bool = True,
     ) -> None:
         if not jobs:
             raise SimulationError("simulation needs at least one job")
@@ -133,11 +139,18 @@ class CoflowSimulation:
         )
         self._queue = EventQueue()
         self._capacities = self.topology.links.capacities()
+        #: persistent allocation state, fed add/remove/priority deltas;
+        #: ``use_engine=False`` selects the from-scratch legacy path (kept
+        #: for differential benchmarks and as a correctness oracle).
+        self.engine: Optional[AllocationState] = (
+            AllocationState(self._capacities) if use_engine else None
+        )
         self._active: Dict[int, Flow] = {}
         self._now = 0.0
         self._epoch = 0
         self._events_processed = 0
         self._reallocations = 0
+        self._epochs_skipped = 0
         self._incomplete_jobs = len(self.jobs)
         self._update_scheduled = False
 
@@ -148,11 +161,10 @@ class CoflowSimulation:
         """Run to completion (or to ``until`` seconds of simulated time)."""
         for job in self.jobs.values():
             self._queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
-        if self.scheduler.update_interval is not None:
+        interval = self.scheduler.update_interval
+        if interval is not None and interval > 0:
             first = min(job.arrival_time for job in self.jobs.values())
-            self._queue.push(
-                first + self.scheduler.update_interval, EventKind.SCHEDULER_UPDATE
-            )
+            self._queue.push(first + interval, EventKind.SCHEDULER_UPDATE)
             self._update_scheduled = True
 
         while self._queue and self._incomplete_jobs > 0:
@@ -177,6 +189,10 @@ class CoflowSimulation:
             events_processed=self._events_processed,
             reallocations=self._reallocations,
             scheduler_name=self.scheduler.name,
+            epochs_skipped=self._epochs_skipped,
+            engine_stats=(
+                self.engine.stats.snapshot() if self.engine is not None else None
+            ),
         )
 
     @property
@@ -194,15 +210,35 @@ class CoflowSimulation:
         self._advance_to(batch_time)
         changed = self._handle(event)
 
-        # Drain all events that share this timestamp.
-        while self._queue and self._queue.peek_time() == batch_time:
+        # Drain all events that share this timestamp.  Events within one
+        # float tick of the batch are below time resolution — exact
+        # equality would split them into separate batches, each paying a
+        # redundant reallocation.
+        horizon = batch_time + self._time_tick()
+        while self._queue and self._queue.peek_time() <= horizon:
             changed = self._handle(self._queue.pop()) or changed
             self._events_processed += 1
 
         # A completion prediction landing exactly on schedule also counts.
         changed = self._finish_ripe_flows() or changed
+
+        # update_interval == 0 means "a coordination round after every
+        # event batch" (the δ→0 limit); it cannot be event-scheduled
+        # because a zero-delay event would re-enter its own batch.
+        if self.scheduler.update_interval == 0.0 and self._incomplete_jobs > 0:
+            update_changed = self.scheduler.on_update(self._now)
+            changed = (
+                True if update_changed is None else bool(update_changed)
+            ) or changed
+
         if changed:
             self._reallocate()
+        else:
+            # Dirty flag stayed clean: the active set and every priority
+            # are untouched, so the previous rate assignment still holds.
+            self._epochs_skipped += 1
+            if self.engine is not None:
+                self.engine.stats.epochs_skipped += 1
 
     def _advance_to(self, time: float) -> None:
         if time < self._now - 1e-9:
@@ -232,9 +268,12 @@ class CoflowSimulation:
             return event.epoch == self._epoch
         if event.kind is EventKind.SCHEDULER_UPDATE:
             changed = self.scheduler.on_update(self._now)
-            if self._incomplete_jobs > 0 and self.scheduler.update_interval:
+            interval = self.scheduler.update_interval
+            if self._incomplete_jobs > 0 and interval is not None and interval > 0:
+                # Clamp past the batch-draining window so an interval below
+                # float time resolution cannot re-enter its own batch.
                 self._queue.push(
-                    self._now + self.scheduler.update_interval,
+                    self._now + max(interval, 2.0 * self._time_tick()),
                     EventKind.SCHEDULER_UPDATE,
                 )
             # Policies may report "nothing changed" to skip reallocation.
@@ -246,6 +285,8 @@ class CoflowSimulation:
         for flow in coflow.flows:
             flow.route = self.router.route_flow(flow)
             self._active[flow.flow_id] = flow
+            if self.engine is not None:
+                self.engine.add_flow(flow.flow_id, flow.route)
         self.scheduler.on_coflow_release(coflow, self._now)
 
     def _time_tick(self) -> float:
@@ -272,6 +313,8 @@ class CoflowSimulation:
         for flow in ripe:
             flow.finish(self._now)
             del self._active[flow.flow_id]
+            if self.engine is not None:
+                self.engine.remove_flow(flow.flow_id)
             self.scheduler.on_flow_finish(flow, self._now)
             coflow = self.coflows[flow.coflow_id]
             if coflow.maybe_complete(self._now):
@@ -294,8 +337,12 @@ class CoflowSimulation:
         if not active:
             return
         request = self.scheduler.allocation(active, self._now)
-        flow_routes = {f.flow_id: f.route for f in active}
-        rates = dispatch_allocation(request, flow_routes, self._capacities)
+        priority_delta = self.scheduler.consume_priority_delta()
+        if self.engine is not None:
+            rates = self.engine.allocate(request, priority_delta=priority_delta)
+        else:
+            flow_routes = {f.flow_id: f.route for f in active}
+            rates = dispatch_allocation(request, flow_routes, self._capacities)
         next_completion: Optional[float] = None
         for flow in active:
             flow.priority = request.priorities.get(flow.flow_id, flow.priority)
@@ -324,6 +371,9 @@ def simulate(
     jobs: Sequence[Job],
     router: Optional[EcmpRouter] = None,
     until: Optional[float] = None,
+    use_engine: bool = True,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`CoflowSimulation` and run it."""
-    return CoflowSimulation(topology, scheduler, jobs, router=router).run(until=until)
+    return CoflowSimulation(
+        topology, scheduler, jobs, router=router, use_engine=use_engine
+    ).run(until=until)

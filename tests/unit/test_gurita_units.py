@@ -13,6 +13,20 @@ from repro.jobs import JobBuilder
 from repro.simulator.bandwidth.request import AllocationMode
 
 
+class _FakeContext:
+    """Just enough SchedulerContext for driving hooks directly."""
+
+    def __init__(self, job):
+        self._job = job
+
+    def job(self, job_id):
+        assert job_id == self._job.job_id
+        return self._job
+
+    def coflow(self, coflow_id):
+        return self._job.coflow(coflow_id)
+
+
 class TestConfig:
     def test_defaults_follow_paper(self):
         config = GuritaConfig()
@@ -125,12 +139,7 @@ class TestGuritaHooks:
         scheduler = GuritaScheduler()
         job, first, _second = _two_stage_job(ids, [100.0], [10.0])
         scheduler.on_job_arrival(job, 0.0)
-
-        class FakeContext:
-            def coflow(self, coflow_id):
-                return job.coflow(coflow_id)
-
-        scheduler.context = FakeContext()
+        scheduler.context = _FakeContext(job)
         for coflow in job.arrive(0.0):
             coflow.release(0.0)
             scheduler.on_coflow_release(coflow, 0.0)
@@ -143,6 +152,82 @@ class TestGuritaHooks:
         assert scheduler._flow_class[flow_id] == 2
         # But the coflow-level class for future flows improved.
         assert scheduler._coflow_class[first] == 0
+
+    def test_released_flows_inherit_demoted_job_class(self, ids):
+        """Regression (§IV.B demotion rule): a coflow released while its
+        job is demoted must inherit the job's current class, not reset to
+        class 0 and cut the line until the next δ-round."""
+        scheduler = GuritaScheduler()
+        builder = JobBuilder(ids=ids)
+        a = builder.add_coflow([(0, 1, 100.0)])
+        blocker = builder.add_coflow([(2, 3, 5000.0)])
+        after_a = builder.add_coflow([(4, 5, 10.0)], depends_on=[a])
+        job = builder.build()
+        scheduler.on_job_arrival(job, 0.0)
+        scheduler.context = _FakeContext(job)
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+            scheduler.on_coflow_release(coflow, 0.0)
+        # The δ-round demotes the heavy running stage (mirrors on_update's
+        # bookkeeping: apply the decision, then record the job class).
+        scheduler._apply_decision(blocker, 2)
+        scheduler._job_class[job.job_id] = 2
+        # Coflow a completes; after_a releases while blocker still runs.
+        for flow in job.coflow(a).flows:
+            flow.rate = 1.0
+            flow.advance(100.0)
+            flow.finish(100.0)
+        scheduler.on_coflow_finish(job.coflow(a), 100.0)
+        released = job.coflow(after_a)
+        released.release(100.0)
+        scheduler.on_coflow_release(released, 100.0)
+        assert scheduler._coflow_class[after_a] == 2
+        for flow in released.flows:
+            assert scheduler._flow_class[flow.flow_id] == 2
+            request = scheduler.allocation([flow], 100.0)
+            assert request.priorities[flow.flow_id] == 2
+
+    def test_job_class_resets_when_demoted_stage_finishes(self, ids):
+        """Stage sensitivity: once the demoted stage completes, the job's
+        class is recomputed from the still-running stages, so the next
+        stage starts back at the top queue (unlike Aalo's accumulation)."""
+        scheduler = GuritaScheduler()
+        job, first, second = _two_stage_job(ids, [100.0], [10.0])
+        scheduler.on_job_arrival(job, 0.0)
+        scheduler.context = _FakeContext(job)
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+            scheduler.on_coflow_release(coflow, 0.0)
+        scheduler._apply_decision(first, 3)
+        scheduler._job_class[job.job_id] = 3
+        for flow in job.coflow(first).flows:
+            flow.rate = 1.0
+            flow.advance(100.0)
+            flow.finish(100.0)
+        scheduler.on_coflow_finish(job.coflow(first), 100.0)
+        assert scheduler._job_class[job.job_id] == 0
+        released = job.coflow(second)
+        released.release(100.0)
+        scheduler.on_coflow_release(released, 100.0)
+        for flow in released.flows:
+            assert scheduler._flow_class[flow.flow_id] == 0
+
+    def test_priority_delta_reporting(self, ids):
+        """Gurita reports the exact changed-flow set for the incremental
+        engine, and the accumulator clears on consumption."""
+        scheduler = GuritaScheduler()
+        assert scheduler.reports_priority_deltas is True
+        job, first, _second = _two_stage_job(ids, [100.0], [10.0])
+        scheduler.on_job_arrival(job, 0.0)
+        scheduler.context = _FakeContext(job)
+        for coflow in job.arrive(0.0):
+            coflow.release(0.0)
+            scheduler.on_coflow_release(coflow, 0.0)
+        flow_ids = {f.flow_id for f in job.coflow(first).flows}
+        assert scheduler.consume_priority_delta() == frozenset(flow_ids)
+        assert scheduler.consume_priority_delta() == frozenset()
+        scheduler._apply_decision(first, 2)
+        assert scheduler.consume_priority_delta() == frozenset(flow_ids)
 
 
 class TestGuritaPlus:

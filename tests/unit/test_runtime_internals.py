@@ -110,6 +110,103 @@ class TestSimulationResult:
             result.average_jct()
 
 
+class _CountingPFS(PerFlowFairSharing):
+    """PFS with an observable coordination-round counter."""
+
+    def __init__(self, interval):
+        super().__init__()
+        self.update_interval = interval
+        self.updates = 0
+
+    def on_update(self, now):
+        self.updates += 1
+        return False
+
+
+class TestZeroIntervalUpdates:
+    def _run(self, interval, ids):
+        scheduler = _CountingPFS(interval)
+        jobs = [
+            single_stage_job([(0, 1, 0.5 * GB)], ids=ids),
+            single_stage_job([(0, 2, 1.0 * GB)], arrival_time=0.25, ids=ids),
+        ]
+        sim = CoflowSimulation(
+            BigSwitchTopology(num_hosts=6, link_capacity=1.0 * GB),
+            scheduler,
+            jobs,
+        )
+        return sim.run(), scheduler
+
+    def test_zero_interval_runs_a_round_every_batch(self, ids):
+        """Regression: δ = 0.0 used to be truthiness-gated and silently
+        disabled coordination rounds; it must mean "after every batch"."""
+        result, scheduler = self._run(0.0, ids)
+        assert result.all_done
+        # Arrivals and completions each trigger a round: at least four.
+        assert scheduler.updates >= 4
+
+    def test_none_interval_disables_rounds(self, ids):
+        result, scheduler = self._run(None, ids)
+        assert result.all_done
+        assert scheduler.updates == 0
+
+    def test_positive_interval_is_event_scheduled(self, ids):
+        result, scheduler = self._run(0.25, ids)
+        assert result.all_done
+        # Rounds fire at 0.25s spacing while jobs are in flight (~1.75s),
+        # not once per event batch.
+        assert 4 <= scheduler.updates <= 10
+
+    def test_zero_interval_terminates_without_jobs_pending(self, ids):
+        result, scheduler = self._run(0.0, ids)
+        assert result.all_done  # no post-completion spin
+        assert result.events_processed < 10_000
+
+
+class TestBatchTolerance:
+    def _reallocations(self, second_arrival, ids):
+        jobs = [
+            single_stage_job([(0, 1, 1.0 * GB)], arrival_time=1.0, ids=ids),
+            single_stage_job(
+                [(2, 3, 1.0 * GB)], arrival_time=second_arrival, ids=ids
+            ),
+        ]
+        return make_sim(jobs).run()
+
+    def test_near_coincident_arrivals_batch_together(self, ids):
+        """Arrivals closer than the float-resolution tick must coalesce
+        into one allocation epoch, same as exactly-equal timestamps."""
+        exact = self._reallocations(1.0, ids)
+        near = self._reallocations(1.0 + 4 * math.ulp(1.0), ids)
+        assert near.reallocations == exact.reallocations
+        assert near.all_done and exact.all_done
+
+    def test_separated_arrivals_cost_an_extra_epoch(self, ids):
+        batched = self._reallocations(1.0 + 4 * math.ulp(1.0), ids)
+        split = self._reallocations(1.5, ids)
+        assert split.reallocations > batched.reallocations
+
+
+class TestEpochSkipping:
+    def test_unchanged_rounds_skip_reallocation(self, ids):
+        """A coordination round that reports no priority changes must not
+        recompute rates; the dirty flag records a skipped epoch instead."""
+        scheduler = _CountingPFS(0.1)
+        job = single_stage_job([(0, 1, 1.0 * GB)], ids=ids)
+        sim = CoflowSimulation(
+            BigSwitchTopology(num_hosts=4, link_capacity=1.0 * GB),
+            scheduler,
+            [job],
+        )
+        result = sim.run()
+        assert result.all_done
+        assert scheduler.updates >= 8
+        # Every pure-update batch was skipped (arrival + completion still
+        # reallocate).
+        assert result.epochs_skipped >= scheduler.updates - 2
+        assert result.reallocations <= 3
+
+
 class TestMaxEventsGuard:
     def test_runaway_simulation_raises(self, ids):
         job = single_stage_job([(0, 1, 1000.0 * GB)], ids=ids)
