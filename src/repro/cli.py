@@ -106,6 +106,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     schedulers = tuple(name.strip() for name in args.schedulers.split(","))
     outcome = run_scenario(config, schedulers=schedulers)
     print(format_jct_table(outcome.average_jcts()))
+    # Surfaced when the run was invariant-checked (REPRO_INVARIANTS=1|strict).
+    for name, result in outcome.results.items():
+        if result.invariant_report is not None:
+            print(f"{name}: {result.invariant_report.summary()}")
     if "gurita" in outcome.results and len(outcome.results) > 1:
         print()
         print(format_improvement_row("vs gurita", outcome.improvements_over()))

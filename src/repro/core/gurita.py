@@ -24,7 +24,7 @@ see :mod:`repro.core.starvation`.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import GuritaConfig
 from repro.core.critical_path import AvaCriticalPathEstimator
@@ -46,7 +46,7 @@ class GuritaScheduler(SchedulerPolicy):
     #: incremental engine moves only the affected flows between classes.
     reports_priority_deltas = True
 
-    def __init__(self, config: GuritaConfig = None) -> None:
+    def __init__(self, config: Optional[GuritaConfig] = None) -> None:
         super().__init__()
         self.config = config if config is not None else GuritaConfig()
         self.update_interval = self.config.update_interval

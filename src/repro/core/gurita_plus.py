@@ -12,7 +12,7 @@ most ~0.15% (Figure 8).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.blocking import coflow_psi_clairvoyant, job_stage_psi
 from repro.core.config import GuritaConfig
@@ -29,7 +29,7 @@ class GuritaPlusScheduler(SchedulerPolicy):
 
     name = "gurita+"
 
-    def __init__(self, config: GuritaConfig = None) -> None:
+    def __init__(self, config: Optional[GuritaConfig] = None) -> None:
         super().__init__()
         self.config = config if config is not None else GuritaConfig()
         # No periodic rounds: information is instantaneous.

@@ -148,7 +148,7 @@ class ObservationPlane:
 
     def on_coflow_finish(self, coflow: Coflow) -> None:
         """Receiver tasks done: evict the coflow's records everywhere."""
-        for host in {flow.dst for flow in coflow.flows}:
+        for host in sorted({flow.dst for flow in coflow.flows}):
             agent = self._agents.get(host)
             if agent is not None:
                 agent.evict_coflow(coflow.coflow_id)
@@ -181,7 +181,7 @@ class ObservationPlane:
         """Merge all receivers' reports for the given coflows."""
         wanted = set(coflow_ids)
         merged: Dict[int, List[Tuple[int, float, float, int]]] = {
-            cid: [] for cid in wanted
+            cid: [] for cid in sorted(wanted)
         }
         for agent in self._agents.values():
             for coflow_id, numbers in agent.report().per_coflow.items():

@@ -8,7 +8,7 @@ over fair sharing, or how the Gurita-vs-Aalo gap moves with burstiness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import ScenarioConfig, run_scenario
 
@@ -55,7 +55,7 @@ class SweepResult:
 
 def sweep_offered_load(
     loads: Sequence[float],
-    base: ScenarioConfig = None,
+    base: Optional[ScenarioConfig] = None,
     schedulers: Sequence[str] = ("pfs", "gurita"),
 ) -> SweepResult:
     """Sweep the offered-load calibration of the arrival span."""
@@ -73,7 +73,7 @@ def sweep_offered_load(
 
 def sweep_burst_size(
     burst_sizes: Sequence[int],
-    base: ScenarioConfig = None,
+    base: Optional[ScenarioConfig] = None,
     schedulers: Sequence[str] = ("pfs", "gurita"),
 ) -> SweepResult:
     """Sweep burst size under bursty arrivals (burstiness knob)."""
@@ -95,7 +95,7 @@ def sweep_burst_size(
 
 def sweep_num_jobs(
     job_counts: Sequence[int],
-    base: ScenarioConfig = None,
+    base: Optional[ScenarioConfig] = None,
     schedulers: Sequence[str] = ("pfs", "gurita"),
 ) -> SweepResult:
     """Sweep workload size at constant offered load (scale knob)."""

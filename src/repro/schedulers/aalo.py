@@ -15,7 +15,7 @@ behaviour Gurita's per-stage blocking effect avoids.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.jobs.flow import Flow
 from repro.schedulers.base import SchedulerPolicy
@@ -35,7 +35,7 @@ class AaloScheduler(SchedulerPolicy):
     def __init__(
         self,
         num_classes: int = DEFAULT_NUM_CLASSES,
-        thresholds: ExponentialThresholds = None,
+        thresholds: Optional[ExponentialThresholds] = None,
     ) -> None:
         super().__init__()
         self.num_classes = num_classes
@@ -47,7 +47,7 @@ class AaloScheduler(SchedulerPolicy):
 
     def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
         assert self.context is not None
-        priorities = {}
+        priorities: Dict[int, int] = {}
         for flow in active_flows:
             job_id = self.context.coflow(flow.coflow_id).job_id
             # Global view: exact bytes sent so far by the whole job.

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.jobs.flow import Flow
-from repro.jobs.job import JobState
+from repro.jobs.job import Job, JobState
 from repro.schedulers.base import SchedulerPolicy
 from repro.simulator.bandwidth.request import (
     AllocationMode,
@@ -44,7 +44,7 @@ class BaraatScheduler(SchedulerPolicy):
         self.heavy_bytes = heavy_bytes
         self._arrival_order: List[int] = []
 
-    def on_job_arrival(self, job, now: float) -> None:
+    def on_job_arrival(self, job: Job, now: float) -> None:
         self._arrival_order.append(job.job_id)
 
     def _job_classes(self) -> Dict[int, int]:
@@ -69,7 +69,7 @@ class BaraatScheduler(SchedulerPolicy):
     def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
         assert self.context is not None
         job_classes = self._job_classes()
-        priorities = {}
+        priorities: Dict[int, int] = {}
         for flow in active_flows:
             job_id = self.context.coflow(flow.coflow_id).job_id
             priorities[flow.flow_id] = job_classes.get(job_id, self.num_classes - 1)

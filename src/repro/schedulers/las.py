@@ -10,7 +10,7 @@ coflow/job awareness versus mere size discrimination.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.jobs.flow import Flow
 from repro.schedulers.base import SchedulerPolicy
@@ -33,7 +33,7 @@ class LasScheduler(SchedulerPolicy):
     def __init__(
         self,
         num_classes: int = DEFAULT_NUM_CLASSES,
-        thresholds: ExponentialThresholds = None,
+        thresholds: Optional[ExponentialThresholds] = None,
     ) -> None:
         super().__init__()
         self.num_classes = num_classes

@@ -15,9 +15,10 @@ accumulated score never resets when a new stage starts.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.jobs.flow import Flow
+from repro.jobs.job import Job
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.thresholds import ExponentialThresholds
 from repro.simulator.bandwidth.request import (
@@ -41,7 +42,7 @@ class StreamScheduler(SchedulerPolicy):
     def __init__(
         self,
         num_classes: int = DEFAULT_NUM_CLASSES,
-        thresholds: ExponentialThresholds = None,
+        thresholds: Optional[ExponentialThresholds] = None,
         observation_interval: float = DEFAULT_OBSERVATION_INTERVAL,
         wide_coflow: int = DEFAULT_WIDE_COFLOW,
     ) -> None:
@@ -75,12 +76,12 @@ class StreamScheduler(SchedulerPolicy):
                 changed = True
         return changed
 
-    def on_job_arrival(self, job, now: float) -> None:
+    def on_job_arrival(self, job: Job, now: float) -> None:
         self._observed_job_bytes.setdefault(job.job_id, 0.0)
 
     def allocation(self, active_flows: List[Flow], now: float) -> AllocationRequest:
         assert self.context is not None
-        priorities = {}
+        priorities: Dict[int, int] = {}
         for flow in active_flows:
             coflow = self.context.coflow(flow.coflow_id)
             observed = self._observed_job_bytes.get(coflow.job_id, 0.0)

@@ -28,9 +28,10 @@ rebuilds than the legacy from-scratch path at bit-identical JCT output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.simulator.bandwidth.maxmin import (
     LinkMembership,
@@ -87,17 +88,35 @@ class AllocationState:
     """
 
     def __init__(self, capacities: Sequence[float]) -> None:
-        self._caps = np.asarray(capacities, dtype=float)
+        self._caps: npt.NDArray[np.float64] = np.asarray(capacities, dtype=float)
         self.all_flows = LinkMembership(len(self._caps))
         self._class_members: Optional[List[LinkMembership]] = None
         self._num_classes: Optional[int] = None
         #: effective (clamped) class per flow, valid when class members exist
         self._class_of: Dict[int, int] = {}
         self._priorities: Dict[int, int] = {}
-        self._params: Optional[tuple] = None
+        self._params: Optional[Tuple[object, ...]] = None
         self._structure_dirty = True
         self._last_rates: Dict[int, float] = {}
         self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Read-only views (consumed by the runtime invariant auditor)
+    # ------------------------------------------------------------------
+    @property
+    def class_members(self) -> Optional[List[LinkMembership]]:
+        """Per-class memberships, or None before the first classed request."""
+        return self._class_members
+
+    @property
+    def num_classes(self) -> Optional[int]:
+        """Class count the memberships were built for."""
+        return self._num_classes
+
+    @property
+    def class_of(self) -> Dict[int, int]:
+        """Effective class per flow; treat as read-only."""
+        return self._class_of
 
     # ------------------------------------------------------------------
     # Structural deltas (fed by the runtime as events are applied)
@@ -106,10 +125,11 @@ class AllocationState:
         """A flow became active (coflow released)."""
         self.all_flows.add(flow_id, route)
         if self._class_members is not None:
+            assert self._num_classes is not None
             # Class unknown until the next request; park it in the lowest
             # class (the default for flows absent from a priority map) and
             # let the priority diff move it if the policy says otherwise.
-            cls = self._num_classes - 1  # type: ignore[operator]
+            cls = self._num_classes - 1
             self._class_members[cls].add(flow_id, route)
             self._class_of[flow_id] = cls
         self._structure_dirty = True
@@ -210,7 +230,9 @@ class AllocationState:
             if priority_delta is not None
             else self.all_flows.routes.keys()
         )
-        for flow_id in candidates:
+        # Deterministic application order: class-membership insertion order
+        # must not depend on set iteration order (SIM003).
+        for flow_id in sorted(candidates):
             route = self.all_flows.routes.get(flow_id)
             if route is None:  # reported but already finished
                 continue

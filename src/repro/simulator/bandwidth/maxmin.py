@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 _EPSILON = 1e-9
 
@@ -64,7 +65,7 @@ class LinkMembership:
     def __init__(self, num_links: int) -> None:
         self.num_links = num_links
         self.routes: Dict[int, Route] = {}
-        self.counts = np.zeros(num_links, dtype=np.int64)
+        self.counts: npt.NDArray[np.int64] = np.zeros(num_links, dtype=np.int64)
         self.link_members: Dict[int, Dict[int, None]] = {}
 
     @classmethod
@@ -106,7 +107,7 @@ class LinkMembership:
 
 def water_fill_membership(
     membership: LinkMembership,
-    residual: np.ndarray,
+    residual: npt.NDArray[np.float64],
 ) -> Dict[int, float]:
     """Max-min fair rates for ``membership`` within ``residual`` capacity.
 
@@ -165,7 +166,7 @@ def water_fill_membership(
 
 def water_fill(
     flow_routes: Mapping[int, Route],
-    residual: Union[np.ndarray, List[float]],
+    residual: Union[npt.NDArray[np.float64], List[float]],
 ) -> Dict[int, float]:
     """Max-min fair rates for ``flow_routes`` within ``residual`` capacity.
 
@@ -183,11 +184,13 @@ def water_fill(
     if not flow_routes:
         return {}
 
-    is_array = isinstance(residual, np.ndarray)
-    res = residual if is_array else np.asarray(residual, dtype=float)
+    if isinstance(residual, np.ndarray):
+        res = residual
+    else:
+        res = np.asarray(residual, dtype=np.float64)
     membership = LinkMembership.from_routes(flow_routes, len(res))
     rates = water_fill_membership(membership, res)
-    if not is_array:
+    if not isinstance(residual, np.ndarray):
         residual[:] = res.tolist()
     return rates
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.errors import SchedulerError
 from repro.simulator.bandwidth.maxmin import Route, allocate_maxmin
@@ -53,7 +53,7 @@ class AllocationRequest:
                 f"got {self.num_classes}"
             )
 
-    def params_key(self) -> tuple:
+    def params_key(self) -> Tuple[object, ...]:
         """Everything but the priority map, as a cache-invalidation key.
 
         The incremental engine discards its cached rates (and, when

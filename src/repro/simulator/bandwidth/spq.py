@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.simulator.bandwidth.maxmin import (
     LinkMembership,
@@ -60,7 +61,7 @@ def allocate_spq(
 
 def allocate_spq_memberships(
     class_members: Sequence[LinkMembership],
-    residual: np.ndarray,
+    residual: npt.NDArray[np.float64],
 ) -> Dict[int, float]:
     """SPQ rates over prebuilt per-class memberships (the engine's path).
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.simulator.bandwidth.maxmin import (
     LinkMembership,
@@ -127,7 +128,7 @@ def allocate_wrr(
 def allocate_wrr_memberships(
     class_members: Sequence[LinkMembership],
     all_flows: LinkMembership,
-    capacities: np.ndarray,
+    capacities: npt.NDArray[np.float64],
     utilization: float = DEFAULT_UTILIZATION,
     weight_mode: str = "inverse_wait",
 ) -> Dict[int, float]:

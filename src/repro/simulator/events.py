@@ -4,6 +4,12 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence number
 makes ordering total and deterministic: two events at the same timestamp pop
 in the order they were scheduled.  ``priority`` lets structurally different
 events at the same instant be ordered (e.g. arrivals before reallocation).
+
+The queue also enforces causality at the source: a **monotonic watermark**
+tracks the latest popped timestamp, and scheduling an event earlier than
+the watermark (beyond float time resolution) raises
+:class:`~repro.errors.SimulationError` immediately — at the buggy ``push``
+call site — instead of surfacing later as a backwards clock jump.
 """
 
 from __future__ import annotations
@@ -11,10 +17,12 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.simulator.timecmp import time_resolution
 
 
 class EventKind(enum.IntEnum):
@@ -42,9 +50,11 @@ class EventQueue:
     """Min-heap of events with deterministic total ordering."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._size = 0
+        #: Latest popped timestamp; pushes may not schedule behind it.
+        self._watermark = -math.inf
 
     def push(
         self,
@@ -53,20 +63,38 @@ class EventQueue:
         payload: Any = None,
         epoch: int = 0,
     ) -> Event:
-        """Schedule an event; returns the Event object."""
+        """Schedule an event; returns the Event object.
+
+        Raises :class:`SimulationError` for negative timestamps and for
+        *past-time scheduling*: a timestamp behind the pop watermark by
+        more than float time resolution can never be processed causally.
+        """
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
+        if time < self._watermark - time_resolution(self._watermark):
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} behind the pop "
+                f"watermark t={self._watermark!r}"
+            )
         event = Event(time=time, kind=kind, seq=next(self._seq), payload=payload, epoch=epoch)
         heapq.heappush(self._heap, (event.time, int(event.kind), event.seq, event))
         self._size += 1
         return event
 
     def pop(self) -> Event:
-        """Remove and return the earliest event."""
+        """Remove and return the earliest event; advances the watermark."""
         if not self._heap:
             raise SimulationError("pop from empty event queue")
         self._size -= 1
-        return heapq.heappop(self._heap)[3]
+        event = heapq.heappop(self._heap)[3]
+        if event.time > self._watermark:
+            self._watermark = event.time
+        return event
+
+    @property
+    def watermark(self) -> float:
+        """Latest popped timestamp (``-inf`` before the first pop)."""
+        return self._watermark
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest event, or None if empty."""

@@ -10,19 +10,22 @@ Also the reporting surface for the incremental allocation engine:
 :func:`allocation_counters` condenses a run's epoch bookkeeping (epochs
 skipped via the dirty flag, rate-cache hits, incremental rows applied,
 full membership rebuilds) into one :class:`AllocationCounters` snapshot —
-the acceptance metric for the engine is read from here.
+the acceptance metric for the engine is read from here.  Runs with the
+opt-in invariant checker enabled additionally surface their violation
+counters through :func:`invariant_counters`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from repro.simulator.bandwidth.engine import EngineStats
 from repro.simulator.bandwidth.maxmin import (
     membership_rebuilds,
     reset_membership_rebuilds,
 )
+from repro.simulator.invariants import InvariantChecker, InvariantReport
 from repro.simulator.runtime import CoflowSimulation, SimulationResult
 
 
@@ -88,6 +91,21 @@ def allocation_counters(result: SimulationResult) -> AllocationCounters:
     )
 
 
+def invariant_counters(result: SimulationResult) -> Dict[str, int]:
+    """Violation count per invariant kind for ``result``.
+
+    Always returns a zero-filled dict over every
+    :attr:`InvariantChecker.KINDS` entry so reports can be tabulated
+    uniformly; a run executed without the checker reads all-zero.
+    """
+    counts = {kind: 0 for kind in InvariantChecker.KINDS}
+    report = result.invariant_report
+    if report is not None:
+        for kind, count in report.counts.items():
+            counts[kind] = count
+    return counts
+
+
 class NetworkProbe:
     """Wraps a simulation's reallocation step to collect samples.
 
@@ -105,7 +123,7 @@ class NetworkProbe:
         self.class_accounting = ClassAccounting()
         self._capacities = simulation.topology.links.capacities()
         self._last_time: Optional[float] = None
-        self._last_rates: Dict[int, tuple] = {}
+        self._last_rates: Dict[int, Tuple[Optional[int], float]] = {}
         self._starved_since: Dict[int, float] = {}
         self._max_starvation: float = 0.0
         original = simulation._reallocate
@@ -188,3 +206,8 @@ class NetworkProbe:
         """Live incremental-engine counters (None when the engine is off)."""
         engine = self.simulation.engine
         return engine.stats if engine is not None else None
+
+    def invariant_report(self) -> Optional[InvariantReport]:
+        """Live invariant-checker report (None when checking is off)."""
+        checker = self.simulation.invariants
+        return checker.report() if checker is not None else None

@@ -17,7 +17,6 @@ Event loop invariants:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -28,8 +27,14 @@ from repro.jobs.job import Job
 from repro.schedulers.context import SchedulerContext
 from repro.simulator.bandwidth.engine import AllocationState, EngineStats
 from repro.simulator.bandwidth.request import dispatch_allocation
-from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    invariants_from_env,
+)
 from repro.simulator.routing.ecmp import EcmpRouter
+from repro.simulator.timecmp import time_resolution
 from repro.simulator.topology.base import Topology
 
 if TYPE_CHECKING:  # imported lazily to avoid a package cycle at runtime
@@ -52,6 +57,8 @@ class SimulationResult:
     epochs_skipped: int = 0
     #: incremental-engine counters (None when the engine was disabled)
     engine_stats: Optional[EngineStats] = None
+    #: invariant-checker outcome (None when the checker was disabled)
+    invariant_report: Optional[InvariantReport] = None
 
     def job_completion_times(self) -> Dict[int, float]:
         """JCT per completed job id."""
@@ -101,6 +108,8 @@ class CoflowSimulation:
         router: Optional[EcmpRouter] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
         use_engine: bool = True,
+        check_invariants: Optional[bool] = None,
+        strict_invariants: Optional[bool] = None,
     ) -> None:
         if not jobs:
             raise SimulationError("simulation needs at least one job")
@@ -145,6 +154,13 @@ class CoflowSimulation:
         self.engine: Optional[AllocationState] = (
             AllocationState(self._capacities) if use_engine else None
         )
+        #: opt-in invariant checking (flag wins; env var is the default)
+        env_enabled, env_strict = invariants_from_env()
+        enabled = env_enabled if check_invariants is None else check_invariants
+        strict = env_strict if strict_invariants is None else strict_invariants
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker(self._capacities, strict=strict) if enabled else None
+        )
         self._active: Dict[int, Flow] = {}
         self._now = 0.0
         self._epoch = 0
@@ -168,9 +184,9 @@ class CoflowSimulation:
             self._update_scheduled = True
 
         while self._queue and self._incomplete_jobs > 0:
-            if until is not None and self._queue.peek_time() is not None:
-                if self._queue.peek_time() > until:
-                    break
+            next_time = self._queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
             self._step()
             if self._events_processed > self.max_events:
                 raise SimulationError(
@@ -193,6 +209,9 @@ class CoflowSimulation:
             engine_stats=(
                 self.engine.stats.snapshot() if self.engine is not None else None
             ),
+            invariant_report=(
+                self.invariants.report() if self.invariants is not None else None
+            ),
         )
 
     @property
@@ -206,6 +225,8 @@ class CoflowSimulation:
         """Process every event at the next timestamp, then reallocate."""
         event = self._queue.pop()
         self._events_processed += 1
+        if self.invariants is not None:
+            self.invariants.check_event_causality(event.time, self._now)
         batch_time = event.time
         self._advance_to(batch_time)
         changed = self._handle(event)
@@ -215,8 +236,11 @@ class CoflowSimulation:
         # equality would split them into separate batches, each paying a
         # redundant reallocation.
         horizon = batch_time + self._time_tick()
-        while self._queue and self._queue.peek_time() <= horizon:
-            changed = self._handle(self._queue.pop()) or changed
+        while self._queue and self._peek_at_most(horizon):
+            drained = self._queue.pop()
+            if self.invariants is not None:
+                self.invariants.check_event_causality(drained.time, self._now)
+            changed = self._handle(drained) or changed
             self._events_processed += 1
 
         # A completion prediction landing exactly on schedule also counts.
@@ -254,7 +278,12 @@ class CoflowSimulation:
                 flow.advance(elapsed)
         self._now = max(self._now, time)
 
-    def _handle(self, event) -> bool:
+    def _peek_at_most(self, horizon: float) -> bool:
+        """Is the next queued event within ``horizon``?"""
+        next_time = self._queue.peek_time()
+        return next_time is not None and next_time <= horizon
+
+    def _handle(self, event: Event) -> bool:
         """Apply one event; returns True if the active flow set changed."""
         if event.kind is EventKind.JOB_ARRIVAL:
             job = self.jobs[event.payload]
@@ -296,7 +325,7 @@ class CoflowSimulation:
         float-visible progress and must be treated as complete, or the
         completion event would re-fire at the same timestamp forever.
         """
-        return max(math.ulp(self._now) * 8.0, 1e-15)
+        return time_resolution(self._now)
 
     def _finish_ripe_flows(self) -> bool:
         """Complete every active flow whose volume has drained (or whose
@@ -343,6 +372,12 @@ class CoflowSimulation:
         else:
             flow_routes = {f.flow_id: f.route for f in active}
             rates = dispatch_allocation(request, flow_routes, self._capacities)
+        if self.invariants is not None:
+            self.invariants.check_allocation(active, rates, self._now)
+            if self.engine is not None:
+                self.invariants.maybe_audit_engine(
+                    self.engine, active, request, self._now
+                )
         next_completion: Optional[float] = None
         for flow in active:
             flow.priority = request.priorities.get(flow.flow_id, flow.priority)

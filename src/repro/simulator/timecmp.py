@@ -1,0 +1,42 @@
+"""Blessed float-time comparison helpers.
+
+Simulation timestamps are floats, and two timestamps produced by different
+arithmetic paths may disagree in the last few ulps even when they denote
+the same instant.  Exact ``==``/``!=`` on timestamps is therefore banned by
+simlint (rule SIM004) everywhere except this module; compare through
+:func:`times_close` / :func:`time_before` instead.
+
+The resolution model matches the runtime's event batching: anything within
+8 ulps of the clock (floored at :data:`TIME_EPSILON` near zero) is below
+simulation time resolution.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute floor of the time resolution (seconds); relevant only near t=0.
+TIME_EPSILON = 1e-15
+
+#: Relative resolution in units of ulps at the current clock value.
+RESOLUTION_ULPS = 8.0
+
+
+def time_resolution(t: float) -> float:
+    """The smallest meaningful time step at clock value ``t``.
+
+    Events closer together than this are considered simultaneous; flows
+    whose remaining transfer time falls below it cannot make float-visible
+    progress.
+    """
+    return max(math.ulp(abs(t)) * RESOLUTION_ULPS, TIME_EPSILON)
+
+
+def times_close(a: float, b: float) -> bool:
+    """Do ``a`` and ``b`` denote the same simulation instant?"""
+    return abs(a - b) <= max(time_resolution(a), time_resolution(b))
+
+
+def time_before(a: float, b: float) -> bool:
+    """Is ``a`` strictly before ``b``, beyond float time resolution?"""
+    return a < b - max(time_resolution(a), time_resolution(b))

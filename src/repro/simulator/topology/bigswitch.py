@@ -8,7 +8,7 @@ fastest substrate for experimentation.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.errors import TopologyError
 from repro.simulator.topology.base import Topology
@@ -23,8 +23,8 @@ class BigSwitchTopology(Topology):
         if num_hosts < 2:
             raise TopologyError("big switch needs at least 2 hosts")
         self._num_hosts = num_hosts
-        self._uplink = []
-        self._downlink = []
+        self._uplink: List[int] = []
+        self._downlink: List[int] = []
         for host in range(num_hosts):
             self._uplink.append(self.links.add(f"h{host}", "fabric", link_capacity))
             self._downlink.append(self.links.add("fabric", f"h{host}", link_capacity))

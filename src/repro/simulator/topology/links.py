@@ -8,7 +8,7 @@ port contributes 10G in each direction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import TopologyError
 
@@ -69,5 +69,5 @@ class LinkTable:
     def __len__(self) -> int:
         return len(self._links)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Link]:
         return iter(self._links)

@@ -1,0 +1,87 @@
+"""Tests for the event queue's monotonic pop watermark.
+
+Scheduling an event earlier than the latest popped timestamp (beyond
+float time resolution) is a causality bug; the queue now rejects it at
+the ``push`` call site instead of letting it surface later as a backwards
+clock jump.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.timecmp import time_resolution
+
+
+def test_watermark_starts_unset():
+    queue = EventQueue()
+    assert queue.watermark == -math.inf
+    # Before the first pop, any non-negative time is schedulable.
+    queue.push(0.0, EventKind.JOB_ARRIVAL)
+    queue.push(1e9, EventKind.JOB_ARRIVAL)
+
+
+def test_pop_advances_watermark():
+    queue = EventQueue()
+    queue.push(1.0, EventKind.JOB_ARRIVAL)
+    queue.push(2.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    assert queue.watermark == 1.0
+    queue.pop()
+    assert queue.watermark == 2.0
+
+
+def test_push_behind_watermark_raises():
+    queue = EventQueue()
+    queue.push(5.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    with pytest.raises(SimulationError, match="behind the pop watermark"):
+        queue.push(4.0, EventKind.FLOW_COMPLETION)
+
+
+def test_push_at_watermark_allowed():
+    """Same-timestamp scheduling stays legal (event batches rely on it)."""
+    queue = EventQueue()
+    queue.push(5.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    queue.push(5.0, EventKind.SCHEDULER_UPDATE)
+    assert len(queue) == 1
+
+
+def test_push_within_time_resolution_allowed():
+    """A timestamp within float resolution of the watermark is 'now'."""
+    queue = EventQueue()
+    queue.push(5.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    queue.push(5.0 - math.ulp(5.0), EventKind.SCHEDULER_UPDATE)
+    assert len(queue) == 1
+
+
+def test_push_just_beyond_resolution_raises():
+    queue = EventQueue()
+    queue.push(5.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    behind = 5.0 - 2.0 * time_resolution(5.0)
+    with pytest.raises(SimulationError, match="behind the pop watermark"):
+        queue.push(behind, EventKind.SCHEDULER_UPDATE)
+
+
+def test_negative_time_still_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError, match="negative time"):
+        queue.push(-1.0, EventKind.JOB_ARRIVAL)
+
+
+def test_out_of_order_pushes_ahead_of_watermark_fine():
+    """Pushes need not be ordered among themselves, only causal."""
+    queue = EventQueue()
+    queue.push(3.0, EventKind.JOB_ARRIVAL)
+    queue.pop()
+    queue.push(10.0, EventKind.JOB_ARRIVAL)
+    queue.push(4.0, EventKind.FLOW_COMPLETION)
+    assert queue.pop().time == 4.0
+    assert queue.pop().time == 10.0

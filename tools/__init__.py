@@ -1,0 +1,1 @@
+"""Developer tooling for the Gurita reproduction (not shipped with the library)."""

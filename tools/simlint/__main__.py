@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m tools.simlint [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage / parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.simlint.rules import ALL_RULES
+from tools.simlint.runner import SimlintUsageError, lint_paths, select_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description=(
+            "Simulator-aware static analysis for the Gurita reproduction "
+            "(determinism and conservation failure classes)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.scopes) if rule.scopes else "all files"
+            print(f"{rule.code}  [{scope}]")
+            print(f"    {rule.description}")
+        return EXIT_CLEAN
+    try:
+        rules = select_rules(
+            args.select.split(",") if args.select else None,
+            args.ignore.split(",") if args.ignore else None,
+        )
+        report = lint_paths(args.paths, rules=rules)
+    except SimlintUsageError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(report.render_json() if args.json else report.render_human())
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Finding and pragma primitives shared by the simlint rules and runner.
+
+A :class:`Finding` is one rule violation at one source location.  Pragmas
+are line comments that suppress findings::
+
+    x = time.time()  # simlint: ignore[SIM001]
+    y = {1, 2}       # simlint: ignore[SIM003, SIM005]
+    z = risky()      # simlint: ignore          (all rules on this line)
+
+and a file can opt out entirely with ``# simlint: skip-file`` within its
+first ten lines (reserved for generated code and fixtures).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_CODES = frozenset({"*"})
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*(?P<verb>ignore|skip-file)"
+    r"(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: ``skip-file`` must appear within this many leading lines.
+_SKIP_FILE_WINDOW = 10
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (the human output format)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class PragmaIndex:
+    """Per-line suppression pragmas parsed from one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.skip_file = False
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            if match.group("verb") == "skip-file":
+                if lineno <= _SKIP_FILE_WINDOW:
+                    self.skip_file = True
+                continue
+            codes: Optional[str] = match.group("codes")
+            if codes is None:
+                self._by_line[lineno] = ALL_CODES
+            else:
+                parsed = frozenset(
+                    code.strip().upper()
+                    for code in codes.split(",")
+                    if code.strip()
+                )
+                existing = self._by_line.get(lineno, frozenset())
+                self._by_line[lineno] = parsed | existing
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Is ``code`` suppressed by a pragma on ``line``?"""
+        if self.skip_file:
+            return True
+        codes = self._by_line.get(line)
+        if codes is None:
+            return False
+        return codes is ALL_CODES or "*" in codes or code.upper() in codes

@@ -1,0 +1,145 @@
+"""File walking, rule dispatch, pragma filtering, and report formatting."""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from tools.simlint.findings import Finding, PragmaIndex
+from tools.simlint.rules import ALL_RULES, LintContext, Rule, RULES_BY_CODE
+
+
+class SimlintUsageError(Exception):
+    """Bad invocation: unknown rule code, unreadable path, syntax error."""
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_human(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.clean:
+            summary = f"simlint: clean ({self.files_checked} files"
+        else:
+            summary = (
+                f"simlint: {len(self.findings)} finding(s) "
+                f"({self.files_checked} files"
+            )
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed by pragma"
+        summary += ")"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "findings": [finding.to_dict() for finding in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[Rule, ...]:
+    """Resolve ``--select`` / ``--ignore`` code lists to rule instances."""
+    codes = [code.strip().upper() for code in (select or []) if code.strip()]
+    ignored = {code.strip().upper() for code in (ignore or []) if code.strip()}
+    for code in list(codes) + sorted(ignored):
+        if code not in RULES_BY_CODE:
+            raise SimlintUsageError(
+                f"unknown rule code {code!r}; known: {sorted(RULES_BY_CODE)}"
+            )
+    rules = (
+        tuple(RULES_BY_CODE[code] for code in codes) if codes else ALL_RULES
+    )
+    return tuple(rule for rule in rules if rule.code not in ignored)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] = ALL_RULES,
+) -> LintReport:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` drives rule scoping (e.g. SIM001 only fires under
+    ``repro/simulator``), so fixture tests pass a representative fake path.
+    """
+    normalized = path.replace("\\", "/")
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise SimlintUsageError(f"{path}: syntax error: {exc}") from exc
+    pragmas = PragmaIndex(source)
+    if pragmas.skip_file:
+        return report
+    ctx = LintContext(path=normalized, tree=tree)
+    for rule in rules:
+        if not rule.applies(normalized):
+            continue
+        for finding in rule.check(ctx):
+            if pragmas.suppresses(finding.line, finding.code):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise SimlintUsageError(f"no such file or directory: {raw}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] = ALL_RULES,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, path=file_path.as_posix(), rules=rules))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
