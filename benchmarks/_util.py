@@ -3,8 +3,23 @@
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 
 def bench_jobs(default: int) -> int:
     """Workload size for benches; override with REPRO_BENCH_JOBS."""
     return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def bench_parallel(default: int = 1) -> int:
+    """Worker count for grid-shaped benches; REPRO_BENCH_PARALLEL.
+
+    Results are bit-identical across worker counts (the parity suite
+    asserts it), so scaling a bench up only changes wall time.
+    """
+    return int(os.environ.get("REPRO_BENCH_PARALLEL", default))
+
+
+def bench_cache_dir() -> Optional[str]:
+    """On-disk result cache for benches; REPRO_BENCH_CACHE_DIR."""
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None

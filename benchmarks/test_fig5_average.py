@@ -9,10 +9,9 @@ The bench prints one row per scenario (FB-t, CD-t, FB-b, CD-b), each an
 improvement factor of Gurita over the named comparator — Figure 5's bars.
 """
 
-from _util import bench_jobs
+from _util import bench_cache_dir, bench_jobs, bench_parallel
 
-from repro.experiments.common import run_scenario
-from repro.experiments.figures import figure5_configs
+from repro.experiments.figures import figure5_configs, run_figure_configs
 from repro.metrics.report import format_improvement_row
 
 
@@ -20,7 +19,14 @@ def test_fig5_average_improvement(run_once):
     configs = figure5_configs(num_jobs=bench_jobs(40))
 
     def experiment():
-        return {config.name: run_scenario(config) for config in configs}
+        # The four scenario columns fan out across REPRO_BENCH_PARALLEL
+        # workers; the series is bit-identical to the serial run.
+        outcomes, _report = run_figure_configs(
+            configs,
+            parallel=bench_parallel(),
+            cache_dir=bench_cache_dir(),
+        )
+        return outcomes
 
     outcomes = run_once(experiment)
     print("\nFIG5  improvement of Gurita (>1 = Gurita faster):")

@@ -1,0 +1,38 @@
+"""Parallel engine: cache-reuse smoke (run twice, second run ~free).
+
+Not a paper figure — an engineering acceptance bench for the experiment
+engine: a grid executed against an empty on-disk cache pays full
+simulation cost; the immediate re-run must answer every unit from the
+cache (100% hits) and finish at least 5× faster, with bit-identical
+JCTs.  CI runs this as part of the ``parallel-parity`` job.
+"""
+
+from _util import bench_jobs
+
+from repro.experiments.common import ScenarioConfig
+from repro.experiments.parallel import grid_of, run_grid
+
+
+def test_cache_reuse_smoke(tmp_path, run_once):
+    config = ScenarioConfig(num_jobs=bench_jobs(10), fattree_k=4)
+    units = grid_of(
+        [config], seeds=(1, 2, 3, 4, 5, 6), schedulers=("pfs", "gurita")
+    )
+    cache_dir = tmp_path / "grid-cache"
+
+    cold = run_grid(units, cache_dir=cache_dir)
+    warm = run_once(run_grid, units, cache_dir=cache_dir)
+
+    assert cold.stats.cache_hits == 0
+    assert warm.stats.cache_hits == warm.stats.total_units == len(units)
+    cold_jcts = [r.average_jcts() for r in cold.scenario_results()]
+    warm_jcts = [r.average_jcts() for r in warm.scenario_results()]
+    assert cold_jcts == warm_jcts
+
+    speedup = cold.stats.elapsed_seconds / max(warm.stats.elapsed_seconds, 1e-9)
+    print(
+        f"\nCACHE  cold {cold.stats.elapsed_seconds:.2f}s -> warm "
+        f"{warm.stats.elapsed_seconds:.3f}s ({speedup:.0f}x, "
+        f"{warm.stats.cache_hits}/{warm.stats.total_units} hits)"
+    )
+    assert speedup >= 5.0

@@ -1,12 +1,19 @@
-"""Command-line interface: run scenarios, figures, and trace tooling.
+"""Command-line interface: run scenarios, figures, trials, trace tooling.
 
 Examples::
 
     python -m repro info
     python -m repro scenario --structure tpcds --jobs 40 --arrival bursty
     python -m repro figure fig5 --jobs 40 --out fig5.json
+    python -m repro figure fig5 --parallel 4 --cache-dir .repro-cache
+    python -m repro trials --jobs 30 --seeds 1,2,3,4 --parallel 4
     python -m repro trace --synthesize 200 --out /tmp/trace.txt
     python -m repro trace --stats /tmp/trace.txt
+
+``--parallel N`` fans independent scenario runs across N worker
+processes through :mod:`repro.experiments.parallel`; results are
+bit-identical to serial runs.  ``--cache-dir`` reuses completed units
+across invocations.
 """
 
 from __future__ import annotations
@@ -22,7 +29,10 @@ from repro.experiments.figures import (
     figure6_config,
     figure7_config,
     figure8_config,
+    run_figure_configs,
 )
+from repro.experiments.parallel import GridReport, ProgressEvent
+from repro.experiments.trials import run_trials
 from repro.metrics.report import (
     format_category_table,
     format_improvement_row,
@@ -53,7 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--seed", type=int, default=42)
     scenario.add_argument("--load", type=float, default=1.5)
+    scenario.add_argument(
+        "--topology", default="fattree", choices=["fattree", "bigswitch"],
+    )
     scenario.add_argument("--fattree-k", type=int, default=8)
+    scenario.add_argument(
+        "--hosts", type=int, default=0,
+        help="host count for --topology bigswitch (0 = default 16)",
+    )
     scenario.add_argument(
         "--schedulers",
         default="pfs,baraat,stream,aalo,gurita",
@@ -68,6 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--structure", default="fb-tao")
     figure.add_argument("--jobs", type=int, default=None)
     figure.add_argument("--out", help="write results JSON here")
+    _add_engine_flags(figure)
+
+    trials = sub.add_parser(
+        "trials", help="replay one scenario across seeds (mean ± std)"
+    )
+    trials.add_argument("--structure", default="fb-tao")
+    trials.add_argument("--jobs", type=int, default=30)
+    trials.add_argument(
+        "--arrival", default="uniform",
+        choices=["uniform", "poisson", "bursty", "simultaneous"],
+    )
+    trials.add_argument("--load", type=float, default=1.5)
+    trials.add_argument("--fattree-k", type=int, default=8)
+    trials.add_argument(
+        "--seeds", default="1,2,3", help="comma-separated replicate seeds"
+    )
+    trials.add_argument(
+        "--schedulers",
+        default="pfs,baraat,stream,aalo,gurita",
+        help="comma-separated policy names",
+    )
+    _add_engine_flags(trials)
 
     trace = sub.add_parser("trace", help="trace tooling")
     trace.add_argument("--synthesize", type=int, metavar="N")
@@ -77,6 +116,43 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--stats", metavar="PATH", help="summarise a trace file")
 
     return parser
+
+
+def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
+    """The parallel-engine knobs shared by grid-shaped subcommands."""
+    sub.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan independent scenario runs across N worker processes "
+        "(results stay bit-identical to --parallel 1)",
+    )
+    sub.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="reuse completed units from (and persist them to) this "
+        "on-disk result cache",
+    )
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    print(
+        f"[{event.completed}/{event.total}] {event.kind}: "
+        f"{event.unit.describe()}",
+        file=sys.stderr,
+    )
+
+
+def _engine_summary(report: GridReport) -> str:
+    stats = report.stats
+    line = (
+        f"engine: {stats.completed}/{stats.total_units} units, "
+        f"{stats.workers} worker(s), {stats.cache_hits} cache hit(s), "
+        f"{stats.retries} retried, {stats.failures} failed"
+    )
+    if stats.elapsed_seconds > 0:
+        line += (
+            f", {stats.elapsed_seconds:.1f}s elapsed, "
+            f"utilization {stats.worker_utilization:.0%}"
+        )
+    return line
 
 
 def cmd_info() -> int:
@@ -101,7 +177,9 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         arrival_mode=args.arrival,
         seed=args.seed,
         offered_load=args.load,
+        topology=args.topology,
         fattree_k=args.fattree_k,
+        num_hosts=args.hosts,
     )
     schedulers = tuple(name.strip() for name in args.schedulers.split(","))
     outcome = run_scenario(config, schedulers=schedulers)
@@ -135,9 +213,16 @@ def cmd_figure(args: argparse.Namespace) -> int:
         configs = [figure7_config(args.structure, num_jobs=args.jobs or 60)]
     else:
         configs = [figure8_config(args.structure, num_jobs=args.jobs or 70)]
+    progress = _print_progress if args.parallel > 1 else None
+    outcomes, report = run_figure_configs(
+        configs,
+        parallel=args.parallel,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
     records = {}
     for config in configs:
-        outcome = run_scenario(config)
+        outcome = outcomes[config.name]
         records[config.name] = comparison_to_dict(outcome.results)
         reference = "gurita" if "gurita" in outcome.results else None
         print(f"== {config.name}")
@@ -150,9 +235,41 @@ def cmd_figure(args: argparse.Namespace) -> int:
                 )
             )
         print()
+    print(_engine_summary(report))
     if args.out:
         path = save_json(records, args.out)
         print(f"wrote {path}")
+    return 0
+
+
+def cmd_trials(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        name="cli-trials",
+        structure=args.structure,
+        num_jobs=args.jobs,
+        arrival_mode=args.arrival,
+        offered_load=args.load,
+        fattree_k=args.fattree_k,
+    )
+    seeds = tuple(int(seed.strip()) for seed in args.seeds.split(","))
+    schedulers = tuple(name.strip() for name in args.schedulers.split(","))
+    trial = run_trials(
+        config,
+        seeds=seeds,
+        schedulers=schedulers,
+        parallel=args.parallel,
+        cache_dir=args.cache_dir,
+    )
+    print(f"trials over seeds {', '.join(str(s) for s in seeds)}:")
+    print("avg JCT per policy (mean ± std):")
+    for name, stats in sorted(trial.average_jct_stats().items()):
+        print(f"  {name:>10}  {stats}")
+    if "gurita" in schedulers and len(schedulers) > 1:
+        print("improvement of gurita (mean ± std):")
+        for name, stats in sorted(trial.improvement_stats().items()):
+            print(f"  {name:>10}  {stats}")
+    if trial.report is not None:
+        print(_engine_summary(trial.report))
     return 0
 
 
@@ -182,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_scenario(args)
     if args.command == "figure":
         return cmd_figure(args)
+    if args.command == "trials":
+        return cmd_trials(args)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -35,6 +35,24 @@ class SchedulerError(ReproError):
     """A scheduling policy was misused or misconfigured."""
 
 
+class ExperimentError(ReproError):
+    """An experiment scenario, grid, or sweep was misconfigured."""
+
+
+class GridExecutionError(ExperimentError):
+    """One or more work units of a parallel grid failed after retries.
+
+    Raised by the convenience wrappers (``run_trials``, ``sweep_*``) that
+    need every unit's result; the engine itself never raises this — it
+    reports failures structurally in :class:`GridReport.failures`.
+    """
+
+    def __init__(self, message: str, failures: object = None) -> None:
+        super().__init__(message)
+        #: the :class:`repro.experiments.parallel.UnitFailure` records
+        self.failures = failures
+
+
 class WorkloadError(ReproError):
     """A workload description or trace file is invalid."""
 

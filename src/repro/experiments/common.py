@@ -11,12 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ExperimentError
 from repro.metrics.improvement import (
     overall_improvement,
     per_category_improvement,
 )
 from repro.schedulers.registry import make_scheduler
 from repro.simulator.runtime import SimulationResult, simulate
+from repro.simulator.topology.base import Topology
+from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.simulator.topology.fattree import FatTreeTopology
 from repro.workloads.generator import synthesize_workload
 
@@ -37,7 +40,12 @@ class ScenarioConfig:
     name: str = "scenario"
     structure: str = "fb-tao"
     num_jobs: int = 60
+    #: network substrate: "fattree" (the paper's) or "bigswitch" (the
+    #: non-blocking analysis abstraction — fastest for wide grids)
+    topology: str = "fattree"
     fattree_k: int = 8
+    #: host count for the big-switch fabric; 0 = a 16-host default
+    num_hosts: int = 0
     arrival_mode: str = "uniform"
     seed: int = 42
     size_scale: float = 1.0
@@ -83,6 +91,18 @@ class ScenarioResult:
         }
 
 
+def build_topology(config: ScenarioConfig) -> Topology:
+    """The scenario's network substrate (deterministic in the config)."""
+    if config.topology == "fattree":
+        return FatTreeTopology(k=config.fattree_k)
+    if config.topology == "bigswitch":
+        return BigSwitchTopology(num_hosts=config.num_hosts or 16)
+    raise ExperimentError(
+        f"unknown topology {config.topology!r}; expected 'fattree' or "
+        "'bigswitch'"
+    )
+
+
 def build_jobs(config: ScenarioConfig, num_hosts: int):
     """The scenario's workload (deterministic in the config's seed)."""
     return synthesize_workload(
@@ -108,7 +128,7 @@ def run_scenario(
     names: List[str] = list(schedulers if schedulers is not None else config.schedulers)
     outcome = ScenarioResult(config=config)
     for name in names:
-        topology = FatTreeTopology(k=config.fattree_k)
+        topology = build_topology(config)
         jobs = build_jobs(config, topology.num_hosts)
         outcome.results[name] = simulate(topology, make_scheduler(name), jobs)
     return outcome

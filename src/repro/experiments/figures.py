@@ -17,13 +17,19 @@ parameters (hours of runtime in pure Python).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.common import (
     PAPER_SCHEDULERS,
     ScenarioConfig,
     ScenarioResult,
-    run_scenario,
+)
+from repro.experiments.parallel import (
+    GridReport,
+    ProgressHook,
+    WorkUnit,
+    run_grid,
 )
 
 #: Figure 5's four scenario columns: structure x (trace | bursty).
@@ -49,12 +55,39 @@ def figure5_configs(num_jobs: int = 60, seed: int = 42) -> List[ScenarioConfig]:
     ]
 
 
-def figure5_run(num_jobs: int = 60, seed: int = 42) -> Dict[str, ScenarioResult]:
+def run_figure_configs(
+    configs: Sequence[ScenarioConfig],
+    parallel: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressHook] = None,
+) -> Tuple[Dict[str, ScenarioResult], GridReport]:
+    """Run a figure's scenario list through the grid engine.
+
+    Returns ``({scenario name -> result}, engine report)`` with names in
+    config order; ``parallel=1`` is the serial degenerate case.
+    """
+    units = [WorkUnit(config=config) for config in configs]
+    report = run_grid(
+        units, parallel=parallel, cache_dir=cache_dir, progress=progress
+    )
+    outcomes = report.scenario_results()
+    return (
+        {config.name: outcome for config, outcome in zip(configs, outcomes)},
+        report,
+    )
+
+
+def figure5_run(
+    num_jobs: int = 60,
+    seed: int = 42,
+    parallel: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, ScenarioResult]:
     """Run Figure 5: {scenario name -> results per scheduler}."""
-    return {
-        config.name: run_scenario(config)
-        for config in figure5_configs(num_jobs, seed)
-    }
+    outcomes, _ = run_figure_configs(
+        figure5_configs(num_jobs, seed), parallel=parallel, cache_dir=cache_dir
+    )
+    return outcomes
 
 
 def figure6_config(
@@ -128,4 +161,5 @@ __all__ = [
     "figure6_config",
     "figure7_config",
     "figure8_config",
+    "run_figure_configs",
 ]

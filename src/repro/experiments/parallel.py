@@ -1,0 +1,578 @@
+"""Parallel experiment engine: deterministic fan-out of scenario grids.
+
+Every figure, sweep, and multi-seed trial decomposes into independent
+*work units* — one ``(ScenarioConfig, replicate seed, scheduler set)``
+tuple each — that share no state: the workload is rebuilt from the seed
+inside the unit, and policies never see each other.  That shape is
+embarrassingly parallel, and this module is the one place the repo
+exploits it.
+
+Design contract (the differential suite in
+``tests/integration/test_parallel_parity.py`` asserts all of it):
+
+**Determinism.**  A unit's outcome is a pure function of the unit alone.
+The workload seed a unit simulates with is the caller's replicate seed,
+verbatim; the engine additionally derives a stable 64-bit *unit seed*
+(:func:`derive_unit_seed`, a blake2b hash over the canonical config
+encoding) used for unit identity, cache keys, and any engine-internal
+randomness.  Nothing — not the seed, not the result, not the order of
+reassembly — ever depends on worker index, pool size, or completion
+order, so serial (``parallel=1``, the degenerate case) and parallel runs
+produce bit-identical JCTs.
+
+**Caching.**  With a ``cache_dir``, each completed unit is persisted
+under a fingerprint of (canonical config + scheduler set + code-version
+salt).  Re-runs and resumed grids skip completed units; a salt bump (new
+library version, or ``REPRO_CACHE_SALT``) invalidates everything, and a
+corrupt or mismatched entry silently degrades to a miss and is
+rewritten.
+
+**Failure isolation.**  A unit that raises (or returns a payload that
+fails validation) is retried once; a second failure lands in the
+report's structured ``failures`` list — offending config, error,
+traceback, attempt count — without sinking sibling units.
+
+**Observability.**  Progress events stream through an injectable hook;
+completed units, cache hits, retries, and worker utilization are
+condensed into :class:`GridStats` and surfaced via
+:func:`repro.simulator.observability.parallel_counters` and the CLI's
+``--parallel`` / ``--cache-dir`` paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro import __version__
+from repro.errors import ExperimentError, GridExecutionError
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.timing import host_clock
+
+#: Bump when the cached payload layout changes (a cheap salt component).
+CACHE_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding and seed derivation
+# ----------------------------------------------------------------------
+def canonical_config(config: ScenarioConfig) -> str:
+    """A canonical JSON encoding of every config field.
+
+    Fields are emitted sorted by name with ``sort_keys=True``, so the
+    encoding — and everything hashed from it — is insensitive to dict or
+    field-declaration iteration order.
+    """
+    record: Dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        record[f.name] = value
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _unit_identity(
+    config: ScenarioConfig, seed: int, schedulers: Tuple[str, ...]
+) -> str:
+    effective = config.with_overrides(seed=seed)
+    return json.dumps(
+        {
+            "config": json.loads(canonical_config(effective)),
+            "schedulers": list(schedulers),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def derive_unit_seed(
+    config: ScenarioConfig,
+    seed: Optional[int] = None,
+    schedulers: Optional[Sequence[str]] = None,
+) -> int:
+    """A stable 63-bit seed for one work unit.
+
+    The derivation is a blake2b hash of the unit's canonical identity
+    (config with the replicate ``seed`` applied, plus the scheduler
+    set) — a pure function of the unit.  It is therefore identical
+    across process-pool sizes, submission orderings, and worker
+    assignment, and unique across units that differ in any field.  It is
+    deliberately *salt-free*: seeds must not change when the code
+    version (and hence the cache salt) does.
+    """
+    effective_seed = config.seed if seed is None else seed
+    names = tuple(schedulers if schedulers is not None else config.schedulers)
+    digest = hashlib.blake2b(
+        _unit_identity(config, effective_seed, names).encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def default_cache_salt() -> str:
+    """The fingerprint salt: code version, overridable for experiments.
+
+    ``REPRO_CACHE_SALT`` overrides the default ``repro-<version>/<fmt>``
+    salt — useful to segregate caches across uncommitted working trees.
+    """
+    override = os.environ.get("REPRO_CACHE_SALT")
+    if override:
+        return override
+    return f"repro-{__version__}/fmt{CACHE_FORMAT}"
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent grid cell: a scenario replayed under some seed.
+
+    ``seed=None`` means "use the config's own seed"; a replicate seed
+    overrides it (that is how trials fan one config across seeds).
+    ``schedulers=None`` defers to ``config.schedulers``.
+    """
+
+    config: ScenarioConfig
+    seed: Optional[int] = None
+    schedulers: Optional[Tuple[str, ...]] = None
+    label: str = ""
+
+    @property
+    def effective_seed(self) -> int:
+        return self.config.seed if self.seed is None else self.seed
+
+    def effective_config(self) -> ScenarioConfig:
+        return self.config.with_overrides(seed=self.effective_seed)
+
+    def scheduler_names(self) -> Tuple[str, ...]:
+        return tuple(
+            self.schedulers if self.schedulers is not None else self.config.schedulers
+        )
+
+    @property
+    def derived_seed(self) -> int:
+        """The unit's stable 63-bit identity seed (see :func:`derive_unit_seed`)."""
+        return derive_unit_seed(self.config, self.seed, self.schedulers)
+
+    def fingerprint(self, salt: Optional[str] = None) -> str:
+        """The unit's cache key: identity + code-version salt."""
+        salt = salt if salt is not None else default_cache_salt()
+        identity = _unit_identity(
+            self.config, self.effective_seed, self.scheduler_names()
+        )
+        return hashlib.blake2b(
+            f"{identity}|salt={salt}".encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def describe(self) -> str:
+        name = self.label or self.effective_config().name
+        return f"{name}[seed={self.effective_seed}]"
+
+
+def execute_unit(unit: WorkUnit) -> ScenarioResult:
+    """Run one work unit (the default worker task; pure, picklable)."""
+    return run_scenario(unit.effective_config(), schedulers=unit.schedulers)
+
+
+class UnitResultError(ExperimentError):
+    """A worker returned a payload that fails validation."""
+
+
+def validate_unit_result(unit: WorkUnit, result: object) -> ScenarioResult:
+    """Reject corrupt worker payloads (wrong type, missing schedulers)."""
+    if not isinstance(result, ScenarioResult):
+        raise UnitResultError(
+            f"unit {unit.describe()} returned {type(result).__name__}, "
+            "expected ScenarioResult"
+        )
+    expected = set(unit.scheduler_names())
+    got = set(result.results)
+    if got != expected:
+        raise UnitResultError(
+            f"unit {unit.describe()} returned schedulers {sorted(got)}, "
+            f"expected {sorted(expected)}"
+        )
+    for name, sim in sorted(result.results.items()):
+        jct = sim.average_jct()
+        if not jct > 0.0 or jct != jct or jct == float("inf"):
+            raise UnitResultError(
+                f"unit {unit.describe()} has non-finite average JCT for "
+                f"{name!r}: {jct!r}"
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """On-disk unit results, keyed by canonical scenario fingerprint.
+
+    Entries are pickle payloads (``{"format", "fingerprint", "result"}``)
+    written atomically.  The fingerprint embeds the salt, so version
+    bumps change the key and naturally invalidate: stale entries are
+    simply never looked up again.  A file that fails to unpickle, fails
+    validation, or carries a mismatched fingerprint degrades to a miss.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], salt: Optional[str] = None
+    ) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else default_cache_salt()
+
+    def path_for(self, unit: WorkUnit) -> Path:
+        return self.root / f"{unit.fingerprint(self.salt)}.pkl"
+
+    def load(self, unit: WorkUnit) -> Optional[ScenarioResult]:
+        path = self.path_for(unit)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != CACHE_FORMAT:
+            return None
+        if payload.get("fingerprint") != unit.fingerprint(self.salt):
+            return None
+        try:
+            return validate_unit_result(unit, payload.get("result"))
+        except UnitResultError:
+            return None
+
+    def store(self, unit: WorkUnit, result: ScenarioResult) -> Path:
+        path = self.path_for(unit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "fingerprint": unit.fingerprint(self.salt),
+                "result": result,
+            }
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class UnitFailure:
+    """One unit that still failed after its retry."""
+
+    index: int
+    unit: WorkUnit
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "unit": self.unit.describe(),
+            "config": json.loads(canonical_config(self.unit.effective_config())),
+            "schedulers": list(self.unit.scheduler_names()),
+            "error": self.error,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class GridStats:
+    """One grid run's bookkeeping (the engine's observability surface)."""
+
+    total_units: int = 0
+    completed: int = 0  #: units with a result (cache hits included)
+    cache_hits: int = 0
+    retries: int = 0
+    failures: int = 0
+    workers: int = 1
+    #: summed per-unit wall time measured inside the workers (host clock)
+    unit_seconds: float = 0.0
+    #: wall time of the whole grid as seen by the submitting process
+    elapsed_seconds: float = 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's capacity spent simulating (0..1)."""
+        capacity = self.workers * self.elapsed_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.unit_seconds / capacity)
+
+
+@dataclass
+class ProgressEvent:
+    """One engine progress tick, streamed to the ``progress`` hook."""
+
+    kind: str  #: "cache-hit" | "done" | "retry" | "failed"
+    index: int
+    unit: WorkUnit
+    completed: int
+    total: int
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class GridReport:
+    """Everything one grid run produced, reassembled in submission order."""
+
+    units: List[WorkUnit]
+    results: List[Optional[ScenarioResult]]
+    failures: List[UnitFailure] = field(default_factory=list)
+    stats: GridStats = field(default_factory=GridStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def scenario_results(self) -> List[ScenarioResult]:
+        """All results, in unit order; raises if any unit failed."""
+        if self.failures:
+            summary = "; ".join(
+                f"{f.unit.describe()}: {f.error}" for f in self.failures
+            )
+            raise GridExecutionError(
+                f"{len(self.failures)} of {len(self.units)} work units "
+                f"failed after retries: {summary}",
+                failures=self.failures,
+            )
+        return [r for r in self.results if r is not None]
+
+    def failure_report(self) -> Dict[str, Any]:
+        """The structured failures report (JSON-safe)."""
+        return {
+            "total_units": self.stats.total_units,
+            "completed": self.stats.completed,
+            "failed": self.stats.failures,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _run_timed(
+    run_unit: Callable[[WorkUnit], ScenarioResult], unit: WorkUnit
+) -> Tuple[ScenarioResult, float]:
+    """Worker entry point: run one unit and report its wall duration."""
+    started = host_clock()
+    result = run_unit(unit)
+    return result, host_clock() - started
+
+
+class _InlineExecutor(Executor):
+    """The serial degenerate case: submit() runs the task immediately.
+
+    Routing ``parallel=1`` through the same submit/wait/retry loop as the
+    pools keeps serial execution a true degenerate case of the engine
+    rather than a separate code path.
+    """
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 — mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+def _make_executor(workers: int, use_threads: bool) -> Executor:
+    if workers <= 1:
+        return _InlineExecutor()
+    if use_threads:
+        return ThreadPoolExecutor(max_workers=workers)
+    context: Optional[multiprocessing.context.BaseContext] = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork keeps worker startup cheap and lets tests inject
+        # module-level task callables without import gymnastics.
+        context = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def run_grid(
+    units: Sequence[WorkUnit],
+    parallel: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    cache: Optional[ResultCache] = None,
+    retries: int = 1,
+    run_unit: Callable[[WorkUnit], ScenarioResult] = execute_unit,
+    use_threads: bool = False,
+    progress: Optional[ProgressHook] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> GridReport:
+    """Execute a grid of work units, fanned across ``parallel`` workers.
+
+    Results come back in submission order regardless of completion
+    order.  ``cache_dir`` (or an explicit ``cache``) enables the on-disk
+    result cache; ``retries`` bounds re-execution of failing units (the
+    default is exactly one retry); ``use_threads`` swaps the process
+    pool for threads (used by fault-injection tests to share state with
+    a custom ``run_unit``); ``clock`` injects the host clock used for
+    reporting-only timings.
+    """
+    units = list(units)
+    tick = clock if clock is not None else host_clock
+    started = tick()
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    stats = GridStats(total_units=len(units), workers=max(1, parallel))
+    results: List[Optional[ScenarioResult]] = [None] * len(units)
+    failures: List[UnitFailure] = []
+
+    def notify(kind: str, index: int) -> None:
+        if progress is not None:
+            progress(
+                ProgressEvent(
+                    kind=kind,
+                    index=index,
+                    unit=units[index],
+                    completed=stats.completed,
+                    total=stats.total_units,
+                )
+            )
+
+    # Cache pass: answer what we can before spinning up any worker.
+    to_run: List[int] = []
+    for index, unit in enumerate(units):
+        cached = cache.load(unit) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            stats.cache_hits += 1
+            stats.completed += 1
+            notify("cache-hit", index)
+        else:
+            to_run.append(index)
+
+    if to_run:
+        executor = _make_executor(parallel, use_threads)
+        try:
+            in_flight: Dict["Future[Tuple[ScenarioResult, float]]", Tuple[int, int]] = {}
+
+            def submit(index: int, attempt: int) -> None:
+                try:
+                    future = executor.submit(_run_timed, run_unit, units[index])
+                except Exception as exc:  # pool broken: fail without retrying
+                    failures.append(
+                        UnitFailure(
+                            index=index,
+                            unit=units[index],
+                            error=f"{type(exc).__name__}: {exc}",
+                            traceback=traceback_module.format_exc(),
+                            attempts=attempt,
+                        )
+                    )
+                    stats.failures += 1
+                    notify("failed", index)
+                else:
+                    in_flight[future] = (index, attempt)
+
+            for index in to_run:
+                submit(index, attempt=1)
+
+            while in_flight:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempt = in_flight.pop(future)
+                    try:
+                        payload, seconds = future.result()
+                        validate_unit_result(units[index], payload)
+                    except Exception as exc:  # raised in worker or validation
+                        if attempt <= retries:
+                            stats.retries += 1
+                            notify("retry", index)
+                            submit(index, attempt=attempt + 1)
+                        else:
+                            failures.append(
+                                UnitFailure(
+                                    index=index,
+                                    unit=units[index],
+                                    error=f"{type(exc).__name__}: {exc}",
+                                    traceback="".join(
+                                        traceback_module.format_exception(
+                                            type(exc), exc, exc.__traceback__
+                                        )
+                                    ),
+                                    attempts=attempt,
+                                )
+                            )
+                            stats.failures += 1
+                            notify("failed", index)
+                    else:
+                        results[index] = payload
+                        stats.completed += 1
+                        stats.unit_seconds += seconds
+                        if cache is not None:
+                            cache.store(units[index], payload)
+                        notify("done", index)
+        finally:
+            executor.shutdown(wait=True)
+
+    failures.sort(key=lambda f: f.index)
+    stats.elapsed_seconds = tick() - started
+    return GridReport(
+        units=units, results=results, failures=failures, stats=stats
+    )
+
+
+def grid_of(
+    configs: Sequence[ScenarioConfig],
+    seeds: Optional[Sequence[int]] = None,
+    schedulers: Optional[Sequence[str]] = None,
+) -> List[WorkUnit]:
+    """The cross product of configs × seeds as work units, in grid order."""
+    names = tuple(schedulers) if schedulers is not None else None
+    units: List[WorkUnit] = []
+    for config in configs:
+        for seed in seeds if seeds is not None else (None,):
+            units.append(WorkUnit(config=config, seed=seed, schedulers=names))
+    return units
+
+
+__all__ = [
+    "CACHE_FORMAT",
+    "GridReport",
+    "GridStats",
+    "ProgressEvent",
+    "ResultCache",
+    "UnitFailure",
+    "UnitResultError",
+    "WorkUnit",
+    "canonical_config",
+    "default_cache_salt",
+    "derive_unit_seed",
+    "execute_unit",
+    "grid_of",
+    "run_grid",
+    "validate_unit_result",
+]

@@ -9,10 +9,12 @@ comparison, so a bench can distinguish a robust win from seed noise.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.common import ScenarioConfig, ScenarioResult
+from repro.experiments.parallel import GridReport, WorkUnit, run_grid
 
 
 @dataclass(frozen=True)
@@ -44,6 +46,8 @@ class TrialResult:
 
     config: ScenarioConfig
     outcomes: List[ScenarioResult]
+    #: the engine report behind this trial (units, cache hits, timings)
+    report: Optional[GridReport] = field(default=None, compare=False)
 
     def improvement_stats(
         self, reference: str = "gurita"
@@ -73,11 +77,22 @@ class TrialResult:
 def run_trials(
     config: ScenarioConfig,
     seeds: Sequence[int] = (1, 2, 3),
-    schedulers: Sequence[str] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> TrialResult:
-    """Replay the scenario once per seed (workloads differ, policies fixed)."""
-    outcomes = [
-        run_scenario(config.with_overrides(seed=seed), schedulers=schedulers)
-        for seed in seeds
+    """Replay the scenario once per seed (workloads differ, policies fixed).
+
+    Seeds fan out across ``parallel`` workers through the grid engine;
+    outcomes come back in seed order and are bit-identical to a serial
+    (``parallel=1``) run.  A failed seed raises
+    :class:`repro.errors.GridExecutionError` after its retry.
+    """
+    names = tuple(schedulers) if schedulers is not None else None
+    units = [
+        WorkUnit(config=config, seed=seed, schedulers=names) for seed in seeds
     ]
-    return TrialResult(config=config, outcomes=outcomes)
+    report = run_grid(units, parallel=parallel, cache_dir=cache_dir)
+    return TrialResult(
+        config=config, outcomes=report.scenario_results(), report=report
+    )

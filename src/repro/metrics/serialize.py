@@ -9,12 +9,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Union
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Union
 
 from repro.metrics.improvement import per_category_improvement
 from repro.metrics.jct import average_jct_by_category, jct_summary
 from repro.simulator.runtime import SimulationResult
 from repro.workloads.categories import category_of
+
+if TYPE_CHECKING:  # import-only: keeps metrics below the experiments layer
+    from repro.experiments.parallel import GridReport
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
@@ -75,6 +78,35 @@ def comparison_to_dict(
             if name != reference
         }
     return record
+
+
+def grid_report_to_dict(report: "GridReport") -> Dict[str, Any]:
+    """A JSON-safe record of one parallel-engine grid run.
+
+    Per-unit comparison records in submission order (``None`` for failed
+    units), the structured failures report, and the engine's counters —
+    everything a resumed or audited grid needs.
+    """
+    stats = report.stats
+    return {
+        "units": [unit.describe() for unit in report.units],
+        "results": [
+            comparison_to_dict(outcome.results) if outcome is not None else None
+            for outcome in report.results
+        ],
+        "failures": [failure.to_dict() for failure in report.failures],
+        "stats": {
+            "total_units": stats.total_units,
+            "completed": stats.completed,
+            "cache_hits": stats.cache_hits,
+            "retries": stats.retries,
+            "failures": stats.failures,
+            "workers": stats.workers,
+            "unit_seconds": stats.unit_seconds,
+            "elapsed_seconds": stats.elapsed_seconds,
+            "worker_utilization": stats.worker_utilization,
+        },
+    }
 
 
 def save_json(record: Dict[str, Any], path: Union[str, Path]) -> Path:

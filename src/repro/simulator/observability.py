@@ -18,7 +18,7 @@ counters through :func:`invariant_counters`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.simulator.bandwidth.engine import EngineStats
 from repro.simulator.bandwidth.maxmin import (
@@ -27,6 +27,9 @@ from repro.simulator.bandwidth.maxmin import (
 )
 from repro.simulator.invariants import InvariantChecker, InvariantReport
 from repro.simulator.runtime import CoflowSimulation, SimulationResult
+
+if TYPE_CHECKING:  # import-only: the experiments layer sits above this one
+    from repro.experiments.parallel import GridReport
 
 
 @dataclass
@@ -89,6 +92,29 @@ def allocation_counters(result: SimulationResult) -> AllocationCounters:
         rows_updated=stats.delta_updates,
         full_rebuilds=stats.full_rebuilds,
     )
+
+
+def parallel_counters(report: "GridReport") -> Dict[str, float]:
+    """The parallel experiment engine's counters, as one flat snapshot.
+
+    Condenses a :class:`repro.experiments.parallel.GridReport` into the
+    same flat-dict shape the other counter surfaces use: units completed
+    vs total, cache hits, retries, failures, and how busy the worker
+    pool actually was (``worker_utilization`` is the fraction of
+    ``workers × elapsed`` wall time spent simulating).
+    """
+    stats = report.stats
+    return {
+        "units_total": float(stats.total_units),
+        "units_completed": float(stats.completed),
+        "cache_hits": float(stats.cache_hits),
+        "retries": float(stats.retries),
+        "failures": float(stats.failures),
+        "workers": float(stats.workers),
+        "unit_seconds": stats.unit_seconds,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "worker_utilization": stats.worker_utilization,
+    }
 
 
 def invariant_counters(result: SimulationResult) -> Dict[str, int]:

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.common import ScenarioConfig
 from repro.experiments.sweep import (
     SweepPoint,
+    SweepResult,
     sweep_burst_size,
     sweep_num_jobs,
     sweep_offered_load,
@@ -43,3 +44,52 @@ class TestSweeps:
     def test_point_improvement(self):
         point = SweepPoint(value=1.0, average_jcts={"pfs": 2.0, "gurita": 1.0})
         assert point.improvement("pfs") == pytest.approx(2.0)
+
+
+def _synthetic_sweep(improvements):
+    """A sweep whose pfs-over-gurita factor at point i is improvements[i]."""
+    return SweepResult(
+        knob="synthetic",
+        points=[
+            SweepPoint(
+                value=float(i), average_jcts={"pfs": factor, "gurita": 1.0}
+            )
+            for i, factor in enumerate(improvements)
+        ],
+    )
+
+
+class TestCrossoverSemantics:
+    """Regressions for non-monotone series, empty sweeps, missing keys."""
+
+    def test_first_crossing_ignores_later_dips(self):
+        # Non-monotone: crosses at value 1, dips back under at value 2.
+        sweep = _synthetic_sweep([0.9, 1.2, 0.8, 1.3])
+        assert sweep.crossover("pfs") == 1.0
+
+    def test_sustained_requires_staying_above_one(self):
+        sweep = _synthetic_sweep([0.9, 1.2, 0.8, 1.3])
+        # Only the final point holds >1.0 through the end.
+        assert sweep.crossover("pfs", sustained=True) == 3.0
+
+    def test_sustained_equals_first_crossing_when_monotone(self):
+        sweep = _synthetic_sweep([0.8, 0.95, 1.1, 1.4])
+        assert sweep.crossover("pfs") == 2.0
+        assert sweep.crossover("pfs", sustained=True) == 2.0
+
+    def test_never_crossing_returns_inf(self):
+        sweep = _synthetic_sweep([0.7, 0.8, 0.9])
+        assert sweep.crossover("pfs") == float("inf")
+        assert sweep.crossover("pfs", sustained=True) == float("inf")
+
+    def test_empty_sweep_returns_inf(self):
+        empty = SweepResult(knob="offered_load")
+        assert empty.crossover("pfs") == float("inf")
+        assert empty.crossover("pfs", sustained=True) == float("inf")
+
+    def test_improvement_names_the_missing_scheduler(self):
+        point = SweepPoint(value=1.0, average_jcts={"pfs": 2.0, "gurita": 1.0})
+        with pytest.raises(KeyError, match=r"'aalo' was not part of this"):
+            point.improvement("aalo")
+        with pytest.raises(KeyError, match=r"measured: \['gurita', 'pfs'\]"):
+            point.improvement("pfs", reference="stream")
