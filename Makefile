@@ -1,0 +1,41 @@
+# Developer entry points.  CI runs the same commands (see
+# .github/workflows/ci.yml); anything green here should be green there.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast all
+
+## Per-file static analysis (SIM001-SIM006).
+lint:
+	$(PYTHON) -m tools.simlint src
+
+## Whole-program determinism taint + worker purity (SIM101-SIM106),
+## checked against the committed suppression baseline.  Fails on any
+## new finding or on baseline drift (stale entries).
+deep-lint:
+	$(PYTHON) -m tools.simlint --deep src --baseline tools/simlint/deep_baseline.json
+
+## Refresh the deep baseline after an intentional change.  Review the
+## diff: every entry is a known, tolerated finding.
+deep-baseline:
+	$(PYTHON) -m tools.simlint --deep src --write-baseline tools/simlint/deep_baseline.json
+
+## mypy --strict over the strict-clean packages (needs the dev extra).
+typecheck:
+	$(PYTHON) -m mypy --strict -p repro.simulator -p repro.schedulers \
+		-p repro.experiments -p repro.metrics
+
+## Enforced ruff baseline: E4/E7/E9/F/B/I (needs the dev extra).
+ruff:
+	$(PYTHON) -m ruff check src tools tests
+
+## Tier-1 test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only (fast inner loop).
+test-fast:
+	$(PYTHON) -m pytest tests/unit -x -q
+
+all: lint deep-lint test

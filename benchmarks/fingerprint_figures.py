@@ -1,0 +1,44 @@
+"""Print a stable fingerprint of the figure-5/6 JCT distributions.
+
+Used to verify that determinism-motivated source changes leave the
+paper artifacts bit-identical: run before and after, diff the output.
+
+    PYTHONPATH=src python benchmarks/fingerprint_figures.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.experiments.common import run_scenario
+from repro.experiments.figures import figure5_configs, figure6_config
+
+
+def fingerprint(payload: object) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(encoded.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def main() -> None:
+    record = {}
+    for config in figure5_configs():
+        outcome = run_scenario(config)
+        record[f"fig5/{config.name}"] = {
+            name: sorted(result.job_completion_times().items())
+            for name, result in outcome.results.items()
+        }
+    for structure in ("fb-tao", "tpcds"):
+        config = figure6_config(structure)
+        outcome = run_scenario(config)
+        record[f"fig6/{structure}"] = {
+            name: sorted(result.job_completion_times().items())
+            for name, result in outcome.results.items()
+        }
+    for key in sorted(record):
+        print(f"{key}: {fingerprint(record[key])}")
+    print(f"overall: {fingerprint(record)}")
+
+
+if __name__ == "__main__":
+    main()

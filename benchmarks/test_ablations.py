@@ -9,8 +9,6 @@ trace-driven scenario.
 
 from _util import bench_jobs
 
-import pytest
-
 from repro.experiments.ablations import (
     critical_path_variants,
     queue_count_variants,

@@ -38,11 +38,11 @@ from repro.schedulers import (
 )
 from repro.schedulers.registry import available_schedulers, make_scheduler
 from repro.simulator import (
+    TEN_GBPS,
     BigSwitchTopology,
     CoflowSimulation,
     FatTreeTopology,
     SimulationResult,
-    TEN_GBPS,
     simulate,
 )
 from repro.workloads import synthesize_workload

@@ -2,13 +2,13 @@
 
 from repro.core.blocking import (
     beta,
-    psi_from_observation,
     blocking_effect,
     coflow_psi_clairvoyant,
     coflow_psi_estimated,
     gamma_clairvoyant,
     gamma_estimated,
     job_stage_psi,
+    psi_from_observation,
 )
 from repro.core.config import GuritaConfig
 from repro.core.critical_path import (
@@ -17,21 +17,21 @@ from repro.core.critical_path import (
 )
 from repro.core.flowtable import (
     CoflowStats,
-    FlowTable,
     FlowRecord,
+    FlowTable,
     five_tuple_for_flow,
     hash_five_tuple,
     jenkins_one_at_a_time,
 )
+from repro.core.gurita import GuritaScheduler
+from repro.core.gurita_plus import GuritaPlusScheduler
+from repro.core.head_receiver import CoflowDecision, HeadReceiver
 from repro.core.receiver import (
     CoflowObservation,
     ObservationPlane,
     ReceiverAgent,
     ReceiverReport,
 )
-from repro.core.gurita import GuritaScheduler
-from repro.core.gurita_plus import GuritaPlusScheduler
-from repro.core.head_receiver import CoflowDecision, HeadReceiver
 
 __all__ = [
     "AvaCriticalPathEstimator",

@@ -15,7 +15,7 @@ the quantities the head receiver's Ψ̈ estimate consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 #: (src ip, dst ip, src port, dst port, protocol) — all as integers.

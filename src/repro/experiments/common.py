@@ -9,9 +9,10 @@ so all policies see byte-identical workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.jobs.job import Job
 from repro.metrics.improvement import (
     overall_improvement,
     per_category_improvement,
@@ -56,7 +57,7 @@ class ScenarioConfig:
     duration: Optional[float] = None
     schedulers: Tuple[str, ...] = PAPER_SCHEDULERS
 
-    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+    def with_overrides(self, **kwargs: Any) -> "ScenarioConfig":
         return replace(self, **kwargs)
 
 
@@ -103,7 +104,7 @@ def build_topology(config: ScenarioConfig) -> Topology:
     )
 
 
-def build_jobs(config: ScenarioConfig, num_hosts: int):
+def build_jobs(config: ScenarioConfig, num_hosts: int) -> List[Job]:
     """The scenario's workload (deterministic in the config's seed)."""
     return synthesize_workload(
         num_jobs=config.num_jobs,

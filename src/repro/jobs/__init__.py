@@ -11,13 +11,13 @@ from repro.jobs.coflow import Coflow, CoflowState
 from repro.jobs.dag import CoflowDag
 from repro.jobs.flow import Flow, FlowState
 from repro.jobs.job import Job, JobState
-from repro.jobs.validate import ValidationReport, validate_workload
 from repro.jobs.paths import (
     critical_path,
     critical_path_coflows,
     enumerate_paths,
     path_cost,
 )
+from repro.jobs.validate import ValidationReport, validate_workload
 
 __all__ = [
     "Coflow",

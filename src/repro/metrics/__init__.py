@@ -15,18 +15,18 @@ from repro.metrics.jct import (
     jct_by_category,
     jct_summary,
 )
-from repro.metrics.serialize import (
-    comparison_to_dict,
-    load_json,
-    result_to_dict,
-    save_json,
-)
 from repro.metrics.report import (
     format_bar_chart,
     format_category_table,
     format_improvement_row,
     format_jct_table,
     format_series,
+)
+from repro.metrics.serialize import (
+    comparison_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
 )
 
 __all__ = [

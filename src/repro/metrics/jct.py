@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import ReproError
 from repro.simulator.runtime import SimulationResult
@@ -71,7 +71,7 @@ def average_jct_by_category(result: SimulationResult) -> Dict[int, float]:
 
 def categories_present(results: Sequence[SimulationResult]) -> List[int]:
     """Categories populated in *all* of the given results (comparable)."""
-    present: Optional[set] = None
+    present: Optional[Set[int]] = None
     for result in results:
         cats = set(jct_by_category(result))
         present = cats if present is None else (present & cats)

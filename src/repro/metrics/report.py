@@ -6,7 +6,7 @@ benchmark harness output can be compared against the paper side by side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.workloads.categories import category_label
 
@@ -77,7 +77,7 @@ def format_bar_chart(
     if peak <= 0:
         peak = 1.0
     label_width = max(len(str(name)) for name in values)
-    lines = []
+    lines: List[str] = []
     for name, value in sorted(values.items(), key=lambda kv: -kv[1]):
         bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
         lines.append(f"{name:<{label_width}s} |{bar:<{width}s}| {value:.2f}{unit}")

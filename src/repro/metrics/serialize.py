@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Union
 
+from repro.errors import ReproError
 from repro.metrics.improvement import per_category_improvement
 from repro.metrics.jct import average_jct_by_category, jct_summary
 from repro.simulator.runtime import SimulationResult
@@ -22,7 +23,7 @@ if TYPE_CHECKING:  # import-only: keeps metrics below the experiments layer
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """A JSON-safe record of one simulation run."""
-    jobs = []
+    jobs: List[Dict[str, Any]] = []
     for job in result.jobs:
         jobs.append(
             {
@@ -119,4 +120,10 @@ def save_json(record: Dict[str, Any], path: Union[str, Path]) -> Path:
 
 def load_json(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a record previously written by :func:`save_json`."""
-    return json.loads(Path(path).read_text())
+    record = json.loads(Path(path).read_text())
+    if not isinstance(record, dict):
+        raise ReproError(
+            f"{path}: expected a JSON object at the top level, "
+            f"got {type(record).__name__}"
+        )
+    return record

@@ -1,18 +1,18 @@
 """Scheduling policies: the Gurita comparators from the paper's §V."""
 
 from repro.schedulers.aalo import AaloScheduler
-from repro.schedulers.baraat import BaraatScheduler, DEFAULT_HEAVY_BYTES
+from repro.schedulers.baraat import DEFAULT_HEAVY_BYTES, BaraatScheduler
 from repro.schedulers.base import SchedulerContext, SchedulerPolicy
 from repro.schedulers.las import LasScheduler
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.schedulers.stream import StreamScheduler
 from repro.schedulers.tbs import StageBytesSjf, TotalBytesSjf
-from repro.schedulers.varys import SebfScheduler
 from repro.schedulers.thresholds import (
     DEFAULT_FIRST_THRESHOLD,
     DEFAULT_THRESHOLD_BASE,
     ExponentialThresholds,
 )
+from repro.schedulers.varys import SebfScheduler
 
 __all__ = [
     "AaloScheduler",

@@ -19,9 +19,9 @@ from repro.jobs.flow import Flow
 from repro.jobs.job import Job, JobState
 from repro.schedulers.base import SchedulerPolicy
 from repro.simulator.bandwidth.request import (
+    MAX_SWITCH_CLASSES,
     AllocationMode,
     AllocationRequest,
-    MAX_SWITCH_CLASSES,
 )
 
 #: Bytes after which a job counts as heavy (Baraat's multiplexing trigger).

@@ -16,9 +16,9 @@ from repro.jobs.flow import Flow
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.thresholds import ExponentialThresholds
 from repro.simulator.bandwidth.request import (
+    DEFAULT_NUM_CLASSES,
     AllocationMode,
     AllocationRequest,
-    DEFAULT_NUM_CLASSES,
 )
 
 #: PIAS-style first demotion boundary: 1 MB of attained service.

@@ -11,10 +11,10 @@ from repro.errors import SchedulerError
 from repro.schedulers.aalo import AaloScheduler
 from repro.schedulers.baraat import BaraatScheduler
 from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.las import LasScheduler
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.schedulers.stream import StreamScheduler
 from repro.schedulers.tbs import StageBytesSjf, TotalBytesSjf
-from repro.schedulers.las import LasScheduler
 from repro.schedulers.varys import SebfScheduler
 
 _FACTORIES: Dict[str, Callable[[], SchedulerPolicy]] = {

@@ -22,9 +22,9 @@ from repro.jobs.job import Job
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.thresholds import ExponentialThresholds
 from repro.simulator.bandwidth.request import (
+    DEFAULT_NUM_CLASSES,
     AllocationMode,
     AllocationRequest,
-    DEFAULT_NUM_CLASSES,
 )
 
 #: Receivers refresh their local observations at this period (seconds).

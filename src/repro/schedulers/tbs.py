@@ -16,9 +16,9 @@ from typing import Dict, List
 from repro.jobs.flow import Flow
 from repro.schedulers.base import SchedulerPolicy
 from repro.simulator.bandwidth.request import (
+    MAX_SWITCH_CLASSES,
     AllocationMode,
     AllocationRequest,
-    MAX_SWITCH_CLASSES,
 )
 
 

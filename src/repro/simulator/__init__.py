@@ -1,9 +1,9 @@
 """Flow-level discrete-event datacenter network simulator."""
 
 from repro.simulator.bandwidth import (
+    DEFAULT_NUM_CLASSES,
     AllocationMode,
     AllocationRequest,
-    DEFAULT_NUM_CLASSES,
 )
 from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.observability import NetworkProbe
@@ -14,9 +14,9 @@ from repro.simulator.runtime import (
     simulate,
 )
 from repro.simulator.topology import (
+    TEN_GBPS,
     BigSwitchTopology,
     FatTreeTopology,
-    TEN_GBPS,
     Topology,
 )
 

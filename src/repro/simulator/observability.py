@@ -21,10 +21,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.simulator.bandwidth.engine import EngineStats
-from repro.simulator.bandwidth.maxmin import (
-    membership_rebuilds,
-    reset_membership_rebuilds,
-)
 from repro.simulator.invariants import InvariantChecker, InvariantReport
 from repro.simulator.runtime import CoflowSimulation, SimulationResult
 

@@ -41,11 +41,6 @@ from repro.theory.johnson import (
     flow_shop_makespan,
     johnson_order,
 )
-from repro.theory.reduction import (
-    job_to_ffs,
-    jobs_to_ffs_instance,
-    optimal_total_jct,
-)
 from repro.theory.lowerbound import (
     coflow_service_bound,
     job_critical_path_bound,
@@ -53,6 +48,11 @@ from repro.theory.lowerbound import (
     job_port_bound,
     mean_optimality_gap,
     optimality_gaps,
+)
+from repro.theory.reduction import (
+    job_to_ffs,
+    jobs_to_ffs_instance,
+    optimal_total_jct,
 )
 
 __all__ = [

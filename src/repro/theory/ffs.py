@@ -16,7 +16,7 @@ how the paper's motivating examples (Figures 2 and 4) count time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import InvalidJobError
 

@@ -20,7 +20,7 @@ the bound is close to optimal regardless of what any other policy does.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Sequence
+from typing import Dict
 
 from repro.jobs.coflow import Coflow
 from repro.jobs.job import Job

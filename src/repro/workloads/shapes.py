@@ -10,10 +10,9 @@ replicated from the trace.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Tuple
-
-import random
 
 from repro.errors import WorkloadError
 

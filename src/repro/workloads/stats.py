@@ -8,7 +8,7 @@ distributions, Table-1 category census, per-stage byte profile of jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.jobs.job import Job
 from repro.workloads.categories import category_of

@@ -1,6 +1,5 @@
 """End-to-end equivalence: Gurita's fast path vs the flow-table plane."""
 
-import pytest
 
 from repro.core.config import GuritaConfig
 from repro.core.gurita import GuritaScheduler

@@ -10,7 +10,6 @@ from repro.schedulers.aalo import AaloScheduler
 from repro.schedulers.baraat import BaraatScheduler
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.schedulers.stream import StreamScheduler
-from repro.schedulers.thresholds import ExponentialThresholds
 from repro.simulator.runtime import simulate
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 

@@ -7,7 +7,7 @@ times can be derived by hand.
 import pytest
 
 from repro.errors import SimulationError
-from repro.jobs import IdAllocator, chain_job, single_stage_job
+from repro.jobs import chain_job, single_stage_job
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.simulator.runtime import CoflowSimulation, simulate
 from repro.simulator.topology.bigswitch import BigSwitchTopology

@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.blocking import beta, blocking_effect, gamma_estimated
 from repro.schedulers.thresholds import ExponentialThresholds
 from repro.workloads.categories import category_of
-from repro.workloads.fbtrace import synthesize_trace, parse_trace, write_trace
+from repro.workloads.fbtrace import parse_trace, synthesize_trace, write_trace
 
 
 @given(

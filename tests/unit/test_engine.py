@@ -1,6 +1,5 @@
 """Unit tests for the incremental allocation engine."""
 
-import numpy as np
 import pytest
 
 from repro.simulator.bandwidth.engine import AllocationState, EngineStats

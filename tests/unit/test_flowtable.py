@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.flowtable import (
-    FlowTable,
     PROTO_TCP,
+    FlowTable,
     five_tuple_for_flow,
     hash_five_tuple,
     jenkins_one_at_a_time,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.jobs import IdAllocator, JobBuilder, chain_job, single_stage_job
+from repro.jobs import chain_job, single_stage_job
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.simulator.runtime import simulate
 from repro.simulator.topology.bigswitch import BigSwitchTopology

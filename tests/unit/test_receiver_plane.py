@@ -7,7 +7,7 @@ from repro.core.receiver import (
     ObservationPlane,
     ReceiverAgent,
 )
-from repro.jobs import IdAllocator, JobBuilder
+from repro.jobs import JobBuilder
 
 
 def two_receiver_coflow(ids):

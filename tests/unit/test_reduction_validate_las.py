@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.jobs import IdAllocator, JobBuilder, chain_job, single_stage_job
+from repro.jobs import JobBuilder, chain_job, single_stage_job
 from repro.jobs.validate import validate_workload
 from repro.schedulers.base import SchedulerContext
 from repro.schedulers.las import LasScheduler

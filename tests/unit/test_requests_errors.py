@@ -5,9 +5,9 @@ import pytest
 from repro import errors
 from repro.errors import ReproError, SchedulerError
 from repro.simulator.bandwidth.request import (
+    MAX_SWITCH_CLASSES,
     AllocationMode,
     AllocationRequest,
-    MAX_SWITCH_CLASSES,
     dispatch_allocation,
 )
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import SimulationError
-from repro.jobs import IdAllocator, single_stage_job
+from repro.jobs import single_stage_job
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.simulator.events import EventKind
 from repro.simulator.runtime import CoflowSimulation, SimulationResult

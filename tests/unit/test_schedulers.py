@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulerError
-from repro.jobs import IdAllocator, single_stage_job
+from repro.jobs import single_stage_job
 from repro.schedulers.aalo import AaloScheduler
 from repro.schedulers.baraat import BaraatScheduler
 from repro.schedulers.base import SchedulerContext

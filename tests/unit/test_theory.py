@@ -4,11 +4,11 @@ import pytest
 
 from repro.errors import ReproError
 from repro.theory import (
-    CospJob,
     FIG2_PAPER_STAGE_AWARE_AVERAGE,
     FIG2_PAPER_TBS_AVERAGE,
     FIG4_PAPER_BLOCKING_AVERAGE,
     FIG4_PAPER_LEAST_BLOCKING_AVERAGE,
+    CospJob,
     TwoMachineJob,
     brute_force_best,
     brute_force_best_order,

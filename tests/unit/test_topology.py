@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TopologyError
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.simulator.topology.fattree import FatTreeTopology
-from repro.simulator.topology.links import LinkTable, TEN_GBPS
+from repro.simulator.topology.links import TEN_GBPS, LinkTable
 
 
 class TestLinkTable:

@@ -1,16 +1,40 @@
 """Command-line entry point: ``python -m tools.simlint [paths...]``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage / parse error.
+Exit codes: 0 = clean, 1 = findings (or baseline drift), 2 = usage /
+parse error.
+
+``--deep`` adds the whole-program SIM101-SIM106 analysis (cross-module
+taint tracking + worker purity) on top of the per-file rules;
+``--baseline`` subtracts a committed JSON baseline so CI fails only on
+*new* findings or on *stale* entries (baseline drift);
+``--write-baseline`` refreshes that snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from tools.simlint.rules import ALL_RULES
-from tools.simlint.runner import SimlintUsageError, lint_paths, select_rules
+from tools.simlint.baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineError,
+    apply_baseline,
+    baseline_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from tools.simlint.dataflow import DEEP_RULES, DEEP_RULES_BY_CODE
+from tools.simlint.findings import Finding
+from tools.simlint.rules import ALL_RULES, RULES_BY_CODE
+from tools.simlint.runner import (
+    FINDING_ORDER,
+    LintReport,
+    SimlintUsageError,
+    lint_paths,
+    lint_paths_deep,
+)
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -32,6 +56,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "run the whole-program analyzer (SIM101-SIM106: cross-module "
+            "determinism taint + run_grid worker purity) in addition to "
+            "the per-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE_PATH,
+        metavar="FILE",
+        help=(
+            "subtract a committed JSON baseline; exit 1 on new findings "
+            "OR stale entries (drift). With no FILE, uses "
+            f"{DEFAULT_BASELINE_PATH}"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE_PATH,
+        metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
     parser.add_argument(
@@ -50,6 +101,76 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _split_codes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def _filtered_report(
+    paths: Sequence[str],
+    deep: bool,
+    select: List[str],
+    ignore: List[str],
+) -> LintReport:
+    known = set(RULES_BY_CODE)
+    if deep:
+        known |= set(DEEP_RULES_BY_CODE)
+    for code in select + ignore:
+        if code not in known:
+            raise SimlintUsageError(
+                f"unknown rule code {code!r}; known: {sorted(known)}"
+            )
+    rules = tuple(
+        rule
+        for rule in ALL_RULES
+        if (not select or rule.code in select) and rule.code not in ignore
+    )
+    report = lint_paths_deep(paths, rules=rules) if deep else lint_paths(paths, rules=rules)
+    if select or ignore:
+        report.findings = [
+            f
+            for f in report.findings
+            if (not select or f.code in select) and f.code not in ignore
+        ]
+    return report
+
+
+def _render_baseline_outcome(
+    report: LintReport,
+    new_findings: List[Finding],
+    stale_renders: List[str],
+    matched: int,
+    as_json: bool,
+) -> str:
+    if as_json:
+        return json.dumps(
+            {
+                "version": 1,
+                "files_checked": report.files_checked,
+                "suppressed": report.suppressed,
+                "baseline_matched": matched,
+                "new_findings": [f.to_dict() for f in new_findings],
+                "stale_baseline_entries": stale_renders,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = [finding.render() for finding in new_findings]
+    lines.extend(stale_renders)
+    verdict = (
+        "clean"
+        if not new_findings and not stale_renders
+        else f"{len(new_findings)} new finding(s), {len(stale_renders)} stale "
+        "baseline entr(y/ies)"
+    )
+    lines.append(
+        f"simlint: {verdict} ({report.files_checked} files, "
+        f"{matched} baselined, {report.suppressed} suppressed by pragma)"
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -57,16 +178,52 @@ def main(argv: Optional[List[str]] = None) -> int:
             scope = ", ".join(rule.scopes) if rule.scopes else "all files"
             print(f"{rule.code}  [{scope}]")
             print(f"    {rule.description}")
+        for deep_rule in DEEP_RULES:
+            print(f"{deep_rule.code}  [whole-program, --deep]")
+            print(f"    {deep_rule.description}")
         return EXIT_CLEAN
+
     try:
-        rules = select_rules(
-            args.select.split(",") if args.select else None,
-            args.ignore.split(",") if args.ignore else None,
+        report = _filtered_report(
+            args.paths,
+            deep=args.deep,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
         )
-        report = lint_paths(args.paths, rules=rules)
     except SimlintUsageError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    report.findings.sort(key=FINDING_ORDER)
+
+    if args.write_baseline:
+        path = save_baseline(
+            baseline_from_findings(report.findings), args.write_baseline
+        )
+        entries = baseline_from_findings(report.findings)["entries"]
+        print(
+            f"simlint: wrote baseline with {len(entries)} entr(y/ies) "
+            f"covering {len(report.findings)} finding(s) to {path}"
+        )
+        return EXIT_CLEAN
+
+    if args.baseline:
+        try:
+            document = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"simlint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        outcome = apply_baseline(report.findings, document)
+        print(
+            _render_baseline_outcome(
+                report,
+                outcome.new_findings,
+                [entry.render() for entry in outcome.stale],
+                outcome.matched,
+                as_json=args.json,
+            )
+        )
+        return EXIT_CLEAN if outcome.clean else EXIT_FINDINGS
+
     print(report.render_json() if args.json else report.render_human())
     return EXIT_CLEAN if report.clean else EXIT_FINDINGS
 

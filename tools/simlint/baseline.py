@@ -1,0 +1,158 @@
+"""JSON suppression baseline for incremental adoption of deep findings.
+
+A baseline is a committed snapshot of the findings a tree is *known* to
+carry: ``--baseline FILE`` subtracts them from the current run so CI only
+fails on regressions, and ``--write-baseline FILE`` refreshes the
+snapshot after an intentional change.
+
+Entries match on ``(path, code, message)`` with a count — deliberately
+*not* on line numbers, so unrelated edits above a finding do not churn
+the baseline.  Matching is two-sided:
+
+* a finding with no remaining baseline budget is **new** (fails CI);
+* a baseline entry with no matching finding is **stale** — the baseline
+  has *drifted* from the tree and must be re-written (also fails CI, so
+  fixed findings cannot silently keep their suppression slots).
+
+The file format is stable JSON (sorted keys, sorted entries) so diffs
+are reviewable and identical across filesystems and Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from tools.simlint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: The committed deep baseline consumed by CI and `make deep-lint`.
+DEFAULT_BASELINE_PATH = "tools/simlint/deep_baseline.json"
+
+Key = Tuple[str, str, str]  #: (path, code, message)
+
+
+class BaselineError(Exception):
+    """Unreadable, unparsable, or wrong-version baseline file."""
+
+
+@dataclass(frozen=True)
+class StaleEntry:
+    """A baseline entry (or part of its count) no longer observed."""
+
+    path: str
+    code: str
+    message: str
+    count: int
+
+    def render(self) -> str:
+        extra = f" (x{self.count})" if self.count > 1 else ""
+        return f"{self.path}: {self.code} {self.message}{extra} [stale baseline entry]"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of subtracting a baseline from a finding list."""
+
+    new_findings: List[Finding]
+    matched: int
+    stale: List[StaleEntry]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings and not self.stale
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.path, finding.code, finding.message)
+
+
+def baseline_from_findings(findings: List[Finding]) -> Dict[str, object]:
+    """A baseline document covering exactly ``findings``."""
+    counts: Dict[Key, int] = {}
+    lines: Dict[Key, int] = {}
+    for finding in findings:
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+        lines.setdefault(key, finding.line)
+    entries = [
+        {
+            "path": path,
+            "code": code,
+            "message": message,
+            "count": counts[(path, code, message)],
+            # informational only; never matched against
+            "first_seen_line": lines[(path, code, message)],
+        }
+        for (path, code, message) in sorted(counts)
+    ]
+    return {"version": BASELINE_VERSION, "entries": entries}
+
+
+def save_baseline(document: Dict[str, object], path: Union[str, Path]) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, object]:
+    target = Path(path)
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {target} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BaselineError(f"baseline {target} must be a JSON object")
+    if document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {target} has version {document.get('version')!r}; "
+            f"this simlint expects {BASELINE_VERSION} — re-create it with "
+            "--write-baseline"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {target} has no 'entries' list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str) for field in ("path", "code", "message")
+        ):
+            raise BaselineError(
+                f"baseline {target} has a malformed entry: {entry!r}"
+            )
+    return document
+
+
+def apply_baseline(
+    findings: List[Finding], document: Dict[str, object]
+) -> BaselineResult:
+    """Subtract the baseline: what is new, what matched, what is stale."""
+    budget: Dict[Key, int] = {}
+    for entry in document["entries"]:  # type: ignore[index]
+        key = (entry["path"], entry["code"], entry["message"])
+        count = entry.get("count", 1)
+        budget[key] = budget.get(key, 0) + max(1, int(count))
+
+    new_findings: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new_findings.append(finding)
+
+    stale = [
+        StaleEntry(path=path, code=code, message=message, count=remaining)
+        for (path, code, message), remaining in sorted(budget.items())
+        if remaining > 0
+    ]
+    return BaselineResult(new_findings=new_findings, matched=matched, stale=stale)

@@ -9,11 +9,21 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from tools.simlint.findings import Finding, PragmaIndex
-from tools.simlint.rules import ALL_RULES, LintContext, Rule, RULES_BY_CODE
+from tools.simlint.rules import ALL_RULES, RULES_BY_CODE, LintContext, Rule
 
 
 class SimlintUsageError(Exception):
     """Bad invocation: unknown rule code, unreadable path, syntax error."""
+
+
+def FINDING_ORDER(finding: Finding) -> Tuple[str, int, str, int]:
+    """The canonical finding sort key: ``(path, line, rule, col)``.
+
+    Rule code sorts *before* column so ``--json`` output — and therefore
+    baseline diffs — are stable across filesystems and Python versions
+    even when two rules fire at different columns of the same line.
+    """
+    return (finding.path, finding.line, finding.code, finding.col)
 
 
 @dataclass
@@ -110,7 +120,7 @@ def lint_source(
                 report.suppressed += 1
             else:
                 report.findings.append(finding)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    report.findings.sort(key=FINDING_ORDER)
     return report
 
 
@@ -141,5 +151,28 @@ def lint_paths(
     for file_path in iter_python_files(paths):
         source = file_path.read_text(encoding="utf-8")
         report.extend(lint_source(source, path=file_path.as_posix(), rules=rules))
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    report.findings.sort(key=FINDING_ORDER)
+    return report
+
+
+def lint_paths_deep(
+    paths: Sequence[str],
+    rules: Sequence[Rule] = ALL_RULES,
+) -> LintReport:
+    """The full static suite: per-file rules plus SIM101-SIM106.
+
+    Runs :func:`lint_paths` and the whole-program analyzer
+    (:mod:`tools.simlint.dataflow`) over the same tree and merges the
+    findings into one canonically-ordered report.
+    """
+    from tools.simlint.dataflow import deep_lint_paths
+
+    report = lint_paths(paths, rules=rules)
+    try:
+        deep = deep_lint_paths(paths)
+    except SyntaxError as exc:
+        raise SimlintUsageError(f"deep analysis: syntax error: {exc}") from exc
+    report.findings.extend(deep.findings)
+    report.suppressed += deep.suppressed
+    report.findings.sort(key=FINDING_ORDER)
     return report
