@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast all
+.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast chaos-smoke all
 
 ## Per-file static analysis (SIM001-SIM006).
 lint:
@@ -37,5 +37,11 @@ test:
 ## Unit tests only (fast inner loop).
 test-fast:
 	$(PYTHON) -m pytest tests/unit -x -q
+
+## Strict-invariant chaos run (what the chaos-smoke CI job executes).
+chaos-smoke:
+	REPRO_INVARIANTS=strict timeout 60 $(PYTHON) -m repro chaos \
+		--jobs 10 --fattree-k 4 --profiles link-flap,hr-loss \
+		--schedulers pfs,gurita
 
 all: lint deep-lint test

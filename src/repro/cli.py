@@ -7,6 +7,8 @@ Examples::
     python -m repro figure fig5 --jobs 40 --out fig5.json
     python -m repro figure fig5 --parallel 4 --cache-dir .repro-cache
     python -m repro trials --jobs 30 --seeds 1,2,3,4 --parallel 4
+    python -m repro scenario --jobs 40 --fault-profile link-flap
+    python -m repro chaos --jobs 30 --profiles link-flap,hr-loss --parallel 4
     python -m repro trace --synthesize 200 --out /tmp/trace.txt
     python -m repro trace --stats /tmp/trace.txt
 
@@ -23,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.experiments.chaos import run_chaos
 from repro.experiments.common import ScenarioConfig, run_scenario
 from repro.experiments.figures import (
     figure5_configs,
@@ -35,11 +38,15 @@ from repro.experiments.parallel import GridReport, ProgressEvent
 from repro.experiments.trials import run_trials
 from repro.metrics.report import (
     format_category_table,
+    format_degradation_table,
+    format_fault_table,
     format_improvement_row,
     format_jct_table,
 )
 from repro.metrics.serialize import comparison_to_dict, save_json
 from repro.schedulers.registry import available_schedulers
+from repro.simulator.faults import CANNED_PROFILES
+from repro.simulator.observability import fault_counters
 from repro.workloads.fbtrace import parse_trace, synthesize_trace, write_trace
 from repro.workloads.stats import format_trace_stats, trace_stats
 
@@ -76,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="pfs,baraat,stream,aalo,gurita",
         help="comma-separated policy names",
     )
+    _add_fault_flags(scenario)
     scenario.add_argument("--out", help="write results JSON here")
 
     figure = sub.add_parser("figure", help="reproduce one paper figure")
@@ -108,6 +116,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(trials)
 
+    chaos = sub.add_parser(
+        "chaos", help="compare schedulers on a faulted vs perfect fabric"
+    )
+    chaos.add_argument("--structure", default="fb-tao")
+    chaos.add_argument("--jobs", type=int, default=40)
+    chaos.add_argument(
+        "--arrival", default="uniform",
+        choices=["uniform", "poisson", "bursty", "simultaneous"],
+    )
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--load", type=float, default=1.5)
+    chaos.add_argument(
+        "--topology", default="fattree", choices=["fattree", "bigswitch"],
+    )
+    chaos.add_argument("--fattree-k", type=int, default=8)
+    chaos.add_argument(
+        "--profiles",
+        default=",".join(CANNED_PROFILES),
+        help="comma-separated fault profiles to inject (each runs the "
+        "scenario once, compared against a shared no-fault baseline)",
+    )
+    chaos.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="scales the profiles' incident counts / HR degradation",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="pin the fault streams (0 = derive from the workload seed)",
+    )
+    chaos.add_argument(
+        "--schedulers",
+        default="pfs,baraat,stream,aalo,gurita",
+        help="comma-separated policy names",
+    )
+    _add_engine_flags(chaos)
+
     trace = sub.add_parser("trace", help="trace tooling")
     trace.add_argument("--synthesize", type=int, metavar="N")
     trace.add_argument("--machines", type=int, default=3000)
@@ -116,6 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--stats", metavar="PATH", help="summarise a trace file")
 
     return parser
+
+
+def _add_fault_flags(sub: argparse.ArgumentParser) -> None:
+    """The fault-injection knobs of fabric-level subcommands."""
+    sub.add_argument(
+        "--fault-profile", default="", metavar="NAME",
+        help="inject a canned fault profile "
+        f"({', '.join(CANNED_PROFILES)}; default: perfect fabric)",
+    )
+    sub.add_argument(
+        "--fault-intensity", type=float, default=1.0,
+        help="scales the profile's incident counts / HR degradation",
+    )
+    sub.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="pin the fault streams (0 = derive from the workload seed)",
+    )
 
 
 def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
@@ -180,10 +241,24 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         topology=args.topology,
         fattree_k=args.fattree_k,
         num_hosts=args.hosts,
+        fault_profile=args.fault_profile,
+        fault_intensity=args.fault_intensity,
+        fault_seed=args.fault_seed,
     )
     schedulers = tuple(name.strip() for name in args.schedulers.split(","))
     outcome = run_scenario(config, schedulers=schedulers)
     print(format_jct_table(outcome.average_jcts()))
+    if args.fault_profile:
+        print()
+        print(f"fault profile {args.fault_profile!r}:")
+        print(
+            format_fault_table(
+                {
+                    name: fault_counters(result)
+                    for name, result in outcome.results.items()
+                }
+            )
+        )
     # Surfaced when the run was invariant-checked (REPRO_INVARIANTS=1|strict).
     for name, result in outcome.results.items():
         if result.invariant_report is not None:
@@ -273,6 +348,51 @@ def cmd_trials(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        name="cli-chaos",
+        structure=args.structure,
+        num_jobs=args.jobs,
+        arrival_mode=args.arrival,
+        seed=args.seed,
+        offered_load=args.load,
+        topology=args.topology,
+        fattree_k=args.fattree_k,
+        schedulers=tuple(
+            name.strip() for name in args.schedulers.split(",")
+        ),
+    )
+    profiles = tuple(
+        name.strip() for name in args.profiles.split(",") if name.strip()
+    )
+    progress = _print_progress if args.parallel > 1 else None
+    report = run_chaos(
+        config,
+        profiles=profiles,
+        intensity=args.intensity,
+        fault_seed=args.fault_seed,
+        parallel=args.parallel,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    print("baseline (perfect fabric):")
+    print(format_jct_table(report.baseline.average_jcts()))
+    print()
+    print(
+        format_degradation_table(
+            {profile: report.degradation(profile) for profile in profiles}
+        )
+    )
+    for profile in profiles:
+        print()
+        print(f"fault handling under {profile!r}:")
+        print(format_fault_table(report.fault_counters(profile)))
+    if report.grid is not None:
+        print()
+        print(_engine_summary(report.grid))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.stats:
         _machines, trace = parse_trace(args.stats)
@@ -301,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_figure(args)
     if args.command == "trials":
         return cmd_trials(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import SchedulerError
 from repro.schedulers.thresholds import ExponentialThresholds
@@ -43,6 +44,17 @@ class GuritaConfig:
         read directly off coflow state.  The two paths are numerically
         equivalent; the plane costs extra bookkeeping and exists for
         architectural fidelity and per-receiver instrumentation.
+    hr_failover_rounds:
+        δ-rounds a job tolerates its head receiver being on a crashed
+        host before the peers elect a replacement (the lowest-numbered
+        alive receiver host).  Until the election the job's receivers
+        keep scheduling on their stale priority view.
+    stale_psi_bound:
+        Seconds of HR-sync staleness receivers tolerate before
+        discarding stale Ψ̈ decisions and falling back to the local
+        default (highest priority, the no-information prior).  ``None``
+        (default) disables the bound: receivers continue on stale Ψ̈
+        indefinitely — the paper's graceful-degradation baseline.
     """
 
     num_classes: int = DEFAULT_NUM_CLASSES
@@ -56,10 +68,20 @@ class GuritaConfig:
     wrr_utilization: float = 0.9
     wrr_weight_mode: str = "inverse_wait"
     use_flow_tables: bool = False
+    hr_failover_rounds: int = 2
+    stale_psi_bound: Optional[float] = None
 
     thresholds: ExponentialThresholds = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.hr_failover_rounds < 1:
+            raise SchedulerError(
+                f"hr_failover_rounds must be >= 1, got {self.hr_failover_rounds}"
+            )
+        if self.stale_psi_bound is not None and self.stale_psi_bound <= 0:
+            raise SchedulerError(
+                f"stale_psi_bound must be positive, got {self.stale_psi_bound}"
+            )
         if not 0.0 <= self.critical_path_bonus < 1.0:
             raise SchedulerError(
                 f"critical_path_bonus must be in [0, 1), got {self.critical_path_bonus}"

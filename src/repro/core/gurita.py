@@ -24,7 +24,7 @@ see :mod:`repro.core.starvation`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.config import GuritaConfig
 from repro.core.critical_path import AvaCriticalPathEstimator
@@ -62,6 +62,12 @@ class GuritaScheduler(SchedulerPolicy):
         self._job_class: Dict[int, int] = {}
         #: sticky per-flow class (set at release, demoted by updates)
         self._flow_class: Dict[int, int] = {}
+        #: degraded-operation state (fault injection)
+        self._crashed_hosts: FrozenSet[int] = frozenset()
+        #: consecutive δ-rounds each job's HR has been unreachable
+        self._hr_down_rounds: Dict[int, int] = {}
+        #: last round whose HR sync actually reached the receivers
+        self._last_sync_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
@@ -123,8 +129,14 @@ class GuritaScheduler(SchedulerPolicy):
     # ------------------------------------------------------------------
     def on_update(self, now: float) -> bool:
         assert self.context is not None
+        self._last_sync_time = now
         changed = False
         for job_id, head_receiver in self._head_receivers.items():
+            if not self._hr_reachable(job_id, head_receiver):
+                # HR host crashed and the failover quorum has not been
+                # reached: this job's receivers keep their stale classes
+                # (local scheduling continues; no blocking).
+                continue
             observations = None
             if self._plane is not None:
                 running = [
@@ -148,6 +160,68 @@ class GuritaScheduler(SchedulerPolicy):
                     or changed
                 )
         return changed
+
+    def _hr_reachable(self, job_id: int, head_receiver: HeadReceiver) -> bool:
+        """Is the job's HR alive (electing a stand-in when it is not)?
+
+        A crashed HR host is tolerated for ``hr_failover_rounds`` δ-rounds
+        (the job's receivers schedule on stale Ψ̈ meanwhile); then the
+        peers elect the lowest-numbered alive receiver host as the new HR
+        and coordination resumes.
+        """
+        if head_receiver.hr_host not in self._crashed_hosts:
+            self._hr_down_rounds.pop(job_id, None)
+            return True
+        rounds = self._hr_down_rounds.get(job_id, 0) + 1
+        self._hr_down_rounds[job_id] = rounds
+        if rounds < self.config.hr_failover_rounds:
+            return False
+        elected = head_receiver.elect_new_head(self._crashed_hosts)
+        if elected is None:
+            return False  # every receiver host is down; retry next round
+        self._hr_down_rounds.pop(job_id, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Degraded operation (fault injection)
+    # ------------------------------------------------------------------
+    def on_sync_degraded(self, now: float) -> bool:
+        """An HR sync was dropped or delayed.
+
+        Receivers continue on their stale Ψ̈-derived classes (never
+        block).  With ``stale_psi_bound`` configured and exceeded, they
+        stop trusting the stale view entirely and fall back to the local
+        no-information prior — every flow back at the highest priority,
+        exactly how newly released flows are treated before their first
+        HR update.
+        """
+        bound = self.config.stale_psi_bound
+        if bound is None:
+            return False
+        last = self._last_sync_time
+        if last is not None and now - last <= bound:
+            return False
+        changed = False
+        for flow_id in sorted(self._flow_class):
+            if self._flow_class[flow_id] != 0:
+                self._flow_class[flow_id] = 0
+                self._note_priority_change(flow_id)
+                changed = True
+        for coflow_id in self._coflow_class:
+            self._coflow_class[coflow_id] = 0
+        for job_id in self._job_class:
+            self._job_class[job_id] = 0
+        return changed
+
+    def on_hosts_changed(self, crashed: FrozenSet[int], now: float) -> None:
+        self._crashed_hosts = crashed
+        # Recoveries may have brought original HR hosts back; reachability
+        # (and any pending election) is re-evaluated at the next δ-round.
+
+    def on_flow_restart(self, flow: Flow, now: float) -> None:
+        """Restart-from-zero: the receiver's byte accounting starts over."""
+        if self._plane is not None:
+            self._plane.on_flow_restart(flow)
 
     def _apply_decision(self, coflow_id: int, new_class: int) -> bool:
         """Demotions hit existing flows; promotions only future ones.

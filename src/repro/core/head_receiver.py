@@ -48,6 +48,37 @@ class HeadReceiver:
     def __init__(self, job: Job, config: GuritaConfig) -> None:
         self.job = job
         self.config = config
+        #: host the HR role currently lives on — the paper designates the
+        #: job's first-invoked receiver; a failover election moves it.
+        self.hr_host: int = self._first_receiver_host()
+
+    def _first_receiver_host(self) -> int:
+        """The first-invoked receiver: dst of the job's first flow."""
+        for coflow in self.job.coflows:
+            for flow in coflow.flows:
+                return flow.dst
+        raise ValueError(f"job {self.job.job_id} has no flows")
+
+    def receiver_hosts(self) -> List[int]:
+        """Every receiver host participating in this job, sorted."""
+        return sorted({
+            flow.dst for coflow in self.job.coflows for flow in coflow.flows
+        })
+
+    def elect_new_head(self, crashed_hosts: frozenset) -> Optional[int]:
+        """Failover: peers elect the lowest-numbered alive receiver host.
+
+        Deterministic by construction (min over a static candidate set),
+        so every peer independently converges on the same new HR — no
+        coordination protocol is needed.  Returns ``None`` when every
+        receiver host of the job is down (the job cannot coordinate at
+        all until a recovery).
+        """
+        for host in self.receiver_hosts():
+            if host not in crashed_hosts:
+                self.hr_host = host
+                return host
+        return None
 
     def decide(
         self,

@@ -99,6 +99,17 @@ class ReceiverAgent:
                 self.table.account_bytes(five_tuple, delta)
         self.table.close(five_tuple)
 
+    def reset_connection(self, flow: Flow) -> None:
+        """A crashed endpoint restarted the transfer from zero.
+
+        The old record's byte count is discarded by re-inserting a fresh
+        record under the same 5-tuple (the table's stale-entry
+        replacement), mirroring a new TCP connection after the crash.
+        """
+        five_tuple = self._tuples.get(flow.flow_id)
+        if five_tuple is not None:
+            self.table.insert(five_tuple, flow.flow_id, flow.coflow_id)
+
     def evict_coflow(self, coflow_id: int) -> int:
         """Forget a completed coflow's closed records."""
         return self.table.evict_closed(coflow_id=coflow_id)
@@ -145,6 +156,12 @@ class ObservationPlane:
         agent = self._agents.get(flow.dst)
         if agent is not None:
             agent.close_connection(flow)
+
+    def on_flow_restart(self, flow: Flow) -> None:
+        """A restart-from-zero crash recovery re-zeroed a flow's bytes."""
+        agent = self._agents.get(flow.dst)
+        if agent is not None:
+            agent.reset_connection(flow)
 
     def on_coflow_finish(self, coflow: Coflow) -> None:
         """Receiver tasks done: evict the coflow's records everywhere."""

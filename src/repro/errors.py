@@ -27,6 +27,21 @@ class RoutingError(ReproError):
     """No route could be computed between two hosts."""
 
 
+class NoPathError(RoutingError):
+    """Every candidate path between two hosts is unavailable.
+
+    Raised by the ECMP router when the topology exposes no route
+    candidates at all, or when link failures have downed every
+    equal-cost candidate (a network partition).  Callers that model
+    graceful degradation catch this and park the flow until a repair
+    restores connectivity.
+    """
+
+
+class FaultError(ReproError):
+    """A fault profile or fault specification is invalid."""
+
+
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 

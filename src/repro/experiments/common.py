@@ -9,7 +9,7 @@ so all policies see byte-identical workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.jobs.job import Job
@@ -23,6 +23,9 @@ from repro.simulator.topology.base import Topology
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.simulator.topology.fattree import FatTreeTopology
 from repro.workloads.generator import synthesize_workload
+
+if TYPE_CHECKING:  # imported lazily inside build_fault_profile at runtime
+    from repro.simulator.faults import FaultProfile
 
 #: The comparators of the paper's evaluation, plus Gurita itself.
 PAPER_SCHEDULERS: Tuple[str, ...] = ("pfs", "baraat", "stream", "aalo", "gurita")
@@ -56,6 +59,13 @@ class ScenarioConfig:
     burst_gap: float = 1.0
     duration: Optional[float] = None
     schedulers: Tuple[str, ...] = PAPER_SCHEDULERS
+    #: canned fault profile name ("" = perfect fabric, the historical
+    #: behaviour); see :func:`repro.simulator.faults.profile_from_name`
+    fault_profile: str = ""
+    #: scales incident counts / HR degradation of the canned profile
+    fault_intensity: float = 1.0
+    #: pins the fault stream; 0 = derive from the workload seed
+    fault_seed: int = 0
 
     def with_overrides(self, **kwargs: Any) -> "ScenarioConfig":
         return replace(self, **kwargs)
@@ -121,6 +131,26 @@ def build_jobs(config: ScenarioConfig, num_hosts: int) -> List[Job]:
     )
 
 
+def build_fault_profile(config: ScenarioConfig) -> Optional["FaultProfile"]:
+    """The scenario's fault profile, or None for the perfect fabric.
+
+    The fault-stream seed is derived from ``fault_seed`` (or, when 0,
+    the workload seed) and the profile name — a pure function of the
+    config, so every scheduler replay and every execution mode (serial
+    or ``run_grid``) injects a bit-identical fault timeline.
+    """
+    if not config.fault_profile:
+        return None
+    from repro.simulator.faults import derive_fault_seed, profile_from_name
+
+    base_seed = config.fault_seed if config.fault_seed else config.seed
+    return profile_from_name(
+        config.fault_profile,
+        intensity=config.fault_intensity,
+        seed=derive_fault_seed(base_seed, config.fault_profile),
+    )
+
+
 def run_scenario(
     config: ScenarioConfig,
     schedulers: Optional[Sequence[str]] = None,
@@ -131,5 +161,10 @@ def run_scenario(
     for name in names:
         topology = build_topology(config)
         jobs = build_jobs(config, topology.num_hosts)
-        outcome.results[name] = simulate(topology, make_scheduler(name), jobs)
+        outcome.results[name] = simulate(
+            topology,
+            make_scheduler(name),
+            jobs,
+            faults=build_fault_profile(config),
+        )
     return outcome

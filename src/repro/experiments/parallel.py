@@ -28,9 +28,14 @@ corrupt or mismatched entry silently degrades to a miss and is
 rewritten.
 
 **Failure isolation.**  A unit that raises (or returns a payload that
-fails validation) is retried once; a second failure lands in the
+fails validation) is retried up to ``retries`` times, with optional
+exponential backoff between attempts; exhausted units land in the
 report's structured ``failures`` list — offending config, error,
-traceback, attempt count — without sinking sibling units.
+traceback, attempt count — without sinking sibling units.  A
+``unit_timeout`` additionally bounds each attempt's wall-clock time:
+hung workers are killed (the process pool is rebuilt and surviving
+in-flight units resubmitted) and the unit is recorded as a structured
+``UnitFailure(kind="timeout")`` instead of stalling the grid forever.
 
 **Observability.**  Progress events stream through an injectable hook;
 completed units, cache hits, retries, and worker utilization are
@@ -66,7 +71,7 @@ from typing import (
 from repro import __version__
 from repro.errors import ExperimentError, GridExecutionError
 from repro.experiments.common import ScenarioConfig, ScenarioResult, run_scenario
-from repro.experiments.timing import host_clock
+from repro.experiments.timing import host_clock, host_sleep
 
 #: Bump when the cached payload layout changes (a cheap salt component).
 CACHE_FORMAT = 1
@@ -75,16 +80,35 @@ CACHE_FORMAT = 1
 # ----------------------------------------------------------------------
 # Canonical encoding and seed derivation
 # ----------------------------------------------------------------------
+#: Config fields added after seed-derivation goldens were pinned, with the
+#: defaults they must be omitted at.  Skipping them keeps the canonical
+#: encoding — and every unit seed and cache fingerprint hashed from it —
+#: byte-identical for configs that do not use the new features.
+_EXTENSION_FIELD_DEFAULTS: Dict[str, Any] = {
+    "fault_profile": "",
+    "fault_intensity": 1.0,
+    "fault_seed": 0,
+}
+
+
 def canonical_config(config: ScenarioConfig) -> str:
     """A canonical JSON encoding of every config field.
 
     Fields are emitted sorted by name with ``sort_keys=True``, so the
     encoding — and everything hashed from it — is insensitive to dict or
-    field-declaration iteration order.
+    field-declaration iteration order.  Extension fields sitting at their
+    defaults are omitted entirely (see
+    :data:`_EXTENSION_FIELD_DEFAULTS`), making the encoding stable across
+    library versions that added them.
     """
     record: Dict[str, Any] = {}
     for f in dataclasses.fields(config):
         value = getattr(config, f.name)
+        if (
+            f.name in _EXTENSION_FIELD_DEFAULTS
+            and value == _EXTENSION_FIELD_DEFAULTS[f.name]
+        ):
+            continue
         if isinstance(value, tuple):
             value = list(value)
         record[f.name] = value
@@ -290,13 +314,16 @@ class ResultCache:
 # ----------------------------------------------------------------------
 @dataclass
 class UnitFailure:
-    """One unit that still failed after its retry."""
+    """One unit that exhausted its retries (or its wall-clock budget)."""
 
     index: int
     unit: WorkUnit
     error: str
     traceback: str
     attempts: int
+    #: "error" (raised / failed validation) or "timeout" (attempt killed
+    #: after exceeding the grid's per-unit wall-clock budget)
+    kind: str = "error"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -305,6 +332,7 @@ class UnitFailure:
             "config": json.loads(canonical_config(self.unit.effective_config())),
             "schedulers": list(self.unit.scheduler_names()),
             "error": self.error,
+            "kind": self.kind,
             "attempts": self.attempts,
             "traceback": self.traceback,
         }
@@ -319,6 +347,9 @@ class GridStats:
     cache_hits: int = 0
     retries: int = 0
     failures: int = 0
+    #: failures caused by the per-unit wall-clock timeout (subset of
+    #: ``failures``); each one killed and rebuilt the worker pool
+    timeouts: int = 0
     workers: int = 1
     #: summed per-unit wall time measured inside the workers (host clock)
     unit_seconds: float = 0.0
@@ -338,7 +369,7 @@ class GridStats:
 class ProgressEvent:
     """One engine progress tick, streamed to the ``progress`` hook."""
 
-    kind: str  #: "cache-hit" | "done" | "retry" | "failed"
+    kind: str  #: "cache-hit" | "done" | "retry" | "failed" | "timeout"
     index: int
     unit: WorkUnit
     completed: int
@@ -426,12 +457,20 @@ def _make_executor(workers: int, use_threads: bool) -> Executor:
     return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
 
+#: Monkeypatchable sleep used for retry backoff (host wall-clock,
+#: concentrated in :mod:`repro.experiments.timing`; the engine's timings
+#: are reporting-only and never feed simulation state).
+_sleep = host_sleep
+
+
 def run_grid(
     units: Sequence[WorkUnit],
     parallel: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     cache: Optional[ResultCache] = None,
     retries: int = 1,
+    backoff_base: float = 0.0,
+    unit_timeout: Optional[float] = None,
     run_unit: Callable[[WorkUnit], ScenarioResult] = execute_unit,
     use_threads: bool = False,
     progress: Optional[ProgressHook] = None,
@@ -442,9 +481,17 @@ def run_grid(
     Results come back in submission order regardless of completion
     order.  ``cache_dir`` (or an explicit ``cache``) enables the on-disk
     result cache; ``retries`` bounds re-execution of failing units (the
-    default is exactly one retry); ``use_threads`` swaps the process
-    pool for threads (used by fault-injection tests to share state with
-    a custom ``run_unit``); ``clock`` injects the host clock used for
+    default is exactly one retry) and ``backoff_base`` spaces the
+    attempts exponentially (the k-th retry waits ``backoff_base *
+    2**(k-1)`` seconds; 0 retries immediately); ``unit_timeout`` bounds
+    each attempt's wall-clock seconds — an attempt that exceeds it is
+    recorded as a ``UnitFailure(kind="timeout")`` without retrying, and
+    with a process pool the hung workers are killed, the pool rebuilt,
+    and surviving in-flight units resubmitted (thread and inline
+    executors cannot be killed; their hung attempt is abandoned and its
+    eventual result discarded); ``use_threads`` swaps the process pool
+    for threads (used by fault-injection tests to share state with a
+    custom ``run_unit``); ``clock`` injects the host clock used for
     reporting-only timings.
     """
     units = list(units)
@@ -452,6 +499,14 @@ def run_grid(
     started = tick()
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if backoff_base < 0:
+        raise ExperimentError(f"backoff_base must be >= 0, got {backoff_base}")
+    if unit_timeout is not None and unit_timeout <= 0:
+        raise ExperimentError(
+            f"unit_timeout must be positive, got {unit_timeout}"
+        )
     stats = GridStats(total_units=len(units), workers=max(1, parallel))
     results: List[Optional[ScenarioResult]] = [None] * len(units)
     failures: List[UnitFailure] = []
@@ -482,42 +537,105 @@ def run_grid(
 
     if to_run:
         executor = _make_executor(parallel, use_threads)
-        try:
-            in_flight: Dict["Future[Tuple[ScenarioResult, float]]", Tuple[int, int]] = {}
+        in_flight: Dict["Future[Tuple[ScenarioResult, float]]", Tuple[int, int]] = {}
+        #: wall-clock deadline per in-flight attempt (unit_timeout only)
+        deadlines: Dict["Future[Tuple[ScenarioResult, float]]", float] = {}
+        #: backoff-delayed retries waiting to launch: (ready_time, index, attempt)
+        retry_queue: List[Tuple[float, int, int]] = []
 
-            def submit(index: int, attempt: int) -> None:
-                try:
-                    future = executor.submit(_run_timed, run_unit, units[index])
-                except Exception as exc:  # pool broken: fail without retrying
-                    failures.append(
-                        UnitFailure(
-                            index=index,
-                            unit=units[index],
-                            error=f"{type(exc).__name__}: {exc}",
-                            traceback=traceback_module.format_exc(),
-                            attempts=attempt,
-                        )
+        def submit(index: int, attempt: int) -> None:
+            try:
+                future = executor.submit(_run_timed, run_unit, units[index])
+            except Exception as exc:  # pool broken: fail without retrying
+                failures.append(
+                    UnitFailure(
+                        index=index,
+                        unit=units[index],
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback_module.format_exc(),
+                        attempts=attempt,
                     )
-                    stats.failures += 1
-                    notify("failed", index)
-                else:
-                    in_flight[future] = (index, attempt)
+                )
+                stats.failures += 1
+                notify("failed", index)
+            else:
+                in_flight[future] = (index, attempt)
+                if unit_timeout is not None:
+                    deadlines[future] = tick() + unit_timeout
 
+        def schedule_retry(index: int, attempt: int) -> None:
+            stats.retries += 1
+            notify("retry", index)
+            delay = backoff_base * 2.0 ** (attempt - 1) if backoff_base > 0 else 0.0
+            if delay <= 0.0:
+                submit(index, attempt=attempt + 1)
+            else:
+                retry_queue.append((tick() + delay, index, attempt + 1))
+
+        def kill_hung_workers() -> None:
+            """Tear down the pool under the hung attempts, then rebuild.
+
+            A process pool gives no per-task kill, so every worker dies
+            with the hung ones; surviving in-flight attempts restart from
+            scratch (their work so far is lost, their attempt count and
+            timeout budget reset — the units are pure, so a rerun is
+            safe).  Thread and inline executors have nothing to kill.
+            """
+            nonlocal executor
+            if not isinstance(executor, ProcessPoolExecutor):
+                return
+            survivors = sorted(in_flight.values())
+            in_flight.clear()
+            deadlines.clear()
+            for process in list(getattr(executor, "_processes", {}).values()):
+                process.terminate()
+            executor.shutdown(wait=False)
+            executor = _make_executor(parallel, use_threads)
+            for index, attempt in survivors:
+                submit(index, attempt)
+
+        try:
             for index in to_run:
                 submit(index, attempt=1)
 
-            while in_flight:
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            while in_flight or retry_queue:
+                # Launch every backoff-delayed retry whose time has come.
+                if retry_queue:
+                    now = tick()
+                    due = [r for r in retry_queue if r[0] <= now]
+                    retry_queue = [r for r in retry_queue if r[0] > now]
+                    for _, index, attempt in sorted(due):
+                        submit(index, attempt)
+                if not in_flight:
+                    if retry_queue:
+                        _sleep(max(0.0, min(r[0] for r in retry_queue) - tick()))
+                    continue
+
+                wait_timeout: Optional[float] = None
+                now = tick()
+                if deadlines:
+                    wait_timeout = max(0.0, min(deadlines.values()) - now)
+                if retry_queue:
+                    until_retry = max(0.0, min(r[0] for r in retry_queue) - now)
+                    wait_timeout = (
+                        until_retry
+                        if wait_timeout is None
+                        else min(wait_timeout, until_retry)
+                    )
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
                     index, attempt = in_flight.pop(future)
+                    deadlines.pop(future, None)
                     try:
                         payload, seconds = future.result()
                         validate_unit_result(units[index], payload)
                     except Exception as exc:  # raised in worker or validation
                         if attempt <= retries:
-                            stats.retries += 1
-                            notify("retry", index)
-                            submit(index, attempt=attempt + 1)
+                            schedule_retry(index, attempt)
                         else:
                             failures.append(
                                 UnitFailure(
@@ -541,6 +659,37 @@ def run_grid(
                         if cache is not None:
                             cache.store(units[index], payload)
                         notify("done", index)
+
+                # Timeout sweep: declare every overdue attempt hung.
+                if deadlines:
+                    now = tick()
+                    expired = sorted(
+                        (in_flight[future], future)
+                        for future, deadline in deadlines.items()
+                        if deadline <= now and not future.done()
+                    )
+                    for (index, attempt), future in expired:
+                        in_flight.pop(future, None)
+                        deadlines.pop(future, None)
+                        future.cancel()  # no-op once running; frees queued ones
+                        failures.append(
+                            UnitFailure(
+                                index=index,
+                                unit=units[index],
+                                error=(
+                                    f"unit exceeded its {unit_timeout}s "
+                                    "wall-clock timeout"
+                                ),
+                                traceback="",
+                                attempts=attempt,
+                                kind="timeout",
+                            )
+                        )
+                        stats.failures += 1
+                        stats.timeouts += 1
+                        notify("timeout", index)
+                    if expired:
+                        kill_hung_workers()
         finally:
             executor.shutdown(wait=True)
 

@@ -16,7 +16,7 @@ injected callable, so tests substitute a fake clock for exact timings.
 
 from __future__ import annotations
 
-from time import perf_counter
+from time import perf_counter, sleep
 
 
 def host_clock() -> float:
@@ -26,3 +26,12 @@ def host_clock() -> float:
     never be used as a simulation timestamp.
     """
     return perf_counter()
+
+
+def host_sleep(seconds: float) -> None:
+    """Block the calling thread for host-clock seconds (backoff only).
+
+    Used by the parallel engine to space retry attempts.  It delays when
+    host work starts — it never advances or reads simulated time.
+    """
+    sleep(seconds)

@@ -62,6 +62,78 @@ def format_jct_table(averages: Mapping[str, float]) -> str:
     return "\n".join(lines)
 
 
+def format_degradation_table(
+    degradation: Mapping[str, Mapping[str, float]],
+    title: str = "JCT inflation vs perfect fabric (1.00 = unaffected):",
+) -> str:
+    """A chaos-report table: JCT inflation per scheduler per fault profile.
+
+    ``degradation`` maps fault-profile name -> {scheduler -> inflation
+    factor} (see :meth:`repro.experiments.chaos.ChaosReport.degradation`).
+    """
+    schedulers: List[str] = sorted(
+        {name for factors in degradation.values() for name in factors}
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "profile         " + "".join(f"{name:>9s}" for name in schedulers)
+    )
+    for profile in sorted(degradation):
+        factors = degradation[profile]
+        lines.append(
+            f"{profile:<16s}"
+            + "".join(
+                f"{factors[name]:8.2f}x" if name in factors else "        -"
+                for name in schedulers
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_fault_table(
+    counters: Mapping[str, Mapping[str, float]],
+    keys: Sequence[str] = (
+        "flows_rerouted",
+        "flow_restarts",
+        "flows_recovered",
+        "mean_recovery_seconds",
+        "hr_rounds_dropped",
+        "max_hr_staleness",
+    ),
+) -> str:
+    """Fault-handling counters per scheduler, one column per counter.
+
+    ``counters`` maps scheduler name -> the flat snapshot of
+    :func:`repro.simulator.observability.fault_counters`; ``keys``
+    selects (and orders) the columns.
+    """
+    short = {
+        "flows_rerouted": "rerouted",
+        "rerouted_bytes": "rr-bytes",
+        "flow_restarts": "restarts",
+        "flows_parked": "parked",
+        "flows_recovered": "recovered",
+        "mean_recovery_seconds": "recov-s",
+        "max_recovery_seconds": "recov-max",
+        "hr_rounds_dropped": "hr-drop",
+        "hr_rounds_delayed": "hr-delay",
+        "max_hr_staleness": "hr-stale",
+    }
+    header = "scheduler   " + "".join(
+        f"{short.get(key, key):>10s}" for key in keys
+    )
+    lines = [header]
+    for name in sorted(counters):
+        row = counters[name]
+        lines.append(
+            f"{name:<12s}"
+            + "".join(f"{row.get(key, 0.0):10.2f}" for key in keys)
+        )
+    return "\n".join(lines)
+
+
 def format_bar_chart(
     values: Mapping[str, float],
     width: int = 40,

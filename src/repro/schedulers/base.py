@@ -110,6 +110,34 @@ class SchedulerPolicy(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Degraded-operation hooks (fault injection; all optional)
+    # ------------------------------------------------------------------
+    def on_sync_degraded(self, now: float) -> Optional[bool]:
+        """A coordination round was dropped or delayed by a fault.
+
+        Called *instead of* :meth:`on_update` for that round.  The default
+        — do nothing — is the paper's graceful-degradation baseline:
+        receivers keep scheduling on their last-synced (stale) priority
+        view rather than blocking.  Policies with a staleness bound may
+        adjust priorities locally and return ``True`` to force a
+        reallocation; ``False``/``None`` skip it.
+        """
+        return False
+
+    def on_hosts_changed(self, crashed: FrozenSet[int], now: float) -> None:
+        """The set of crashed hosts changed (a crash or a recovery).
+
+        ``crashed`` is the complete current set, not a delta.  Policies
+        with host-resident components (e.g. Gurita's head receivers) use
+        this to trigger failover elections.
+        """
+
+    def on_flow_restart(self, flow: Flow, now: float) -> None:
+        """A host crash aborted ``flow`` under the restart-from-zero
+        policy: its delivered bytes were discarded.  Policies keeping
+        receiver-side byte accounting must reset it here."""
+
+    # ------------------------------------------------------------------
     # The one mandatory method
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -57,6 +57,8 @@ class EngineStats:
     delta_updates: int = 0
     #: reallocation epochs the runtime skipped via the dirty flag
     epochs_skipped: int = 0
+    #: capacity revocations/restorations applied by fault injection
+    capacity_revocations: int = 0
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(
@@ -65,6 +67,7 @@ class EngineStats:
             full_rebuilds=self.full_rebuilds,
             delta_updates=self.delta_updates,
             epochs_skipped=self.epochs_skipped,
+            capacity_revocations=self.capacity_revocations,
         )
 
 
@@ -143,6 +146,47 @@ class AllocationState:
         self._priorities.pop(flow_id, None)
         self._structure_dirty = True
         self.stats.delta_updates += 1
+
+    def update_route(self, flow_id: int, route: Route) -> None:
+        """A live flow moved to a new route (fault-driven reroute).
+
+        Unlike remove+add, the flow's cached class assignment survives —
+        essential for policies that report precise priority deltas, which
+        would otherwise never re-report the unchanged class and leave the
+        flow misfiled in the lowest class.
+        """
+        self.all_flows.remove(flow_id)
+        self.all_flows.add(flow_id, route)
+        if self._class_members is not None:
+            cls = self._class_of[flow_id]
+            self._class_members[cls].remove(flow_id)
+            self._class_members[cls].add(flow_id, route)
+        self._structure_dirty = True
+        self.stats.delta_updates += 1
+
+    def set_capacity(self, link_id: int, capacity: float) -> None:
+        """Revoke or restore one link's capacity (fault injection).
+
+        Only the capacity vector entry changes — the link memberships,
+        class layout, and priority map all stay valid, so this
+        invalidates the rate cache for the affected link's next
+        allocation without triggering any membership rebuild.
+        ``capacity=0.0`` models a downed link (the water-fill gives its
+        members zero share); the original capacity restores it.
+        """
+        if not 0 <= link_id < len(self._caps):
+            raise IndexError(
+                f"link {link_id} out of range (num_links={len(self._caps)})"
+            )
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._caps[link_id] = capacity
+        self._structure_dirty = True
+        self.stats.capacity_revocations += 1
+
+    def capacity_of(self, link_id: int) -> float:
+        """The engine's current (possibly revoked) capacity for a link."""
+        return float(self._caps[link_id])
 
     # ------------------------------------------------------------------
     # Allocation

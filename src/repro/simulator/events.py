@@ -26,11 +26,18 @@ from repro.simulator.timecmp import time_resolution
 
 
 class EventKind(enum.IntEnum):
-    """Kinds of events, in intra-timestamp processing order."""
+    """Kinds of events, in intra-timestamp processing order.
+
+    Values are append-only: fault kinds were added after the original
+    three, keeping every zero-fault event ordering byte-identical to
+    builds that predate fault injection.
+    """
 
     JOB_ARRIVAL = 0
     FLOW_COMPLETION = 1
     SCHEDULER_UPDATE = 2
+    FAULT = 3
+    REPAIR = 4
 
 
 @dataclass(frozen=True)

@@ -108,11 +108,15 @@ class InvariantChecker:
     NEGATIVE_VOLUME = "negative_volume"
     CAUSALITY = "causality"
     CACHE_COHERENCE = "cache_coherence"
+    DOWNED_LINK = "downed_link"
+    CRASHED_HOST = "crashed_host"
     KINDS: Tuple[str, ...] = (
         CAPACITY,
         NEGATIVE_VOLUME,
         CAUSALITY,
         CACHE_COHERENCE,
+        DOWNED_LINK,
+        CRASHED_HOST,
     )
 
     def __init__(
@@ -135,6 +139,9 @@ class InvariantChecker:
         self._examples: List[InvariantViolation] = []
         self._checks = 0
         self._allocations_since_audit = 0
+        #: live fault state mirrored in by the runtime (empty = no faults)
+        self._downed_links: Set[int] = set()
+        self._crashed_hosts: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Recording
@@ -153,6 +160,29 @@ class InvariantChecker:
             counts=dict(self._counts),
             examples=list(self._examples),
         )
+
+    # ------------------------------------------------------------------
+    # Fault state mirroring (wired by the runtime's fault injector)
+    # ------------------------------------------------------------------
+    def note_capacity(self, link_id: int, capacity: float) -> None:
+        """Mirror a fault-injected capacity revocation/restoration.
+
+        Keeps the conservation check honest during flaps: allocated rate
+        is compared against the *revoked* capacity, not the nominal one,
+        so an engine that keeps handing out pre-fault bandwidth is a
+        violation rather than a silently optimistic run.
+        """
+        if 0 <= link_id < len(self._caps):
+            self._caps[link_id] = float(capacity)
+
+    def note_fault_state(
+        self,
+        downed_links: Iterable[int],
+        crashed_hosts: Iterable[int],
+    ) -> None:
+        """Mirror the live downed-link / crashed-host sets."""
+        self._downed_links = set(downed_links)
+        self._crashed_hosts = set(crashed_hosts)
 
     # ------------------------------------------------------------------
     # Event causality
@@ -176,7 +206,12 @@ class InvariantChecker:
         rates: Mapping[int, float],
         now: float,
     ) -> None:
-        """Per-link allocated rate <= capacity; no negative volumes."""
+        """Per-link allocated rate <= capacity; no negative volumes.
+
+        With fault state mirrored in (:meth:`note_fault_state`), also
+        asserts graceful degradation: no rate on a downed link, and no
+        progress credited to a flow whose endpoint host has crashed.
+        """
         self._checks += 1
         usage: Dict[int, float] = {}
         for flow in flows:
@@ -194,6 +229,27 @@ class InvariantChecker:
                     f"flow {flow.flow_id} has negative remaining volume "
                     f"{flow.remaining_bytes!r}",
                 )
+            if rate > 0.0:
+                if self._downed_links:
+                    for link_id in flow.route:
+                        if link_id in self._downed_links:
+                            self._record(
+                                self.DOWNED_LINK,
+                                now,
+                                f"flow {flow.flow_id} allocated rate {rate!r} "
+                                f"over downed link {link_id}",
+                            )
+                if self._crashed_hosts and (
+                    flow.src in self._crashed_hosts
+                    or flow.dst in self._crashed_hosts
+                ):
+                    self._record(
+                        self.CRASHED_HOST,
+                        now,
+                        f"flow {flow.flow_id} credited rate {rate!r} while "
+                        f"endpoint host is crashed "
+                        f"(src={flow.src}, dst={flow.dst})",
+                    )
             for link_id in flow.route:
                 usage[link_id] = usage.get(link_id, 0.0) + rate
         for link_id in sorted(usage):

@@ -12,7 +12,9 @@ skipped via the dirty flag, rate-cache hits, incremental rows applied,
 full membership rebuilds) into one :class:`AllocationCounters` snapshot —
 the acceptance metric for the engine is read from here.  Runs with the
 opt-in invariant checker enabled additionally surface their violation
-counters through :func:`invariant_counters`.
+counters through :func:`invariant_counters`, and fault-injected runs
+surface their degradation/recovery counters through
+:func:`fault_counters`.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.simulator.bandwidth.engine import EngineStats
+from repro.simulator.faults import FaultStats
 from repro.simulator.invariants import InvariantChecker, InvariantReport
 from repro.simulator.runtime import CoflowSimulation, SimulationResult
 
@@ -110,6 +113,34 @@ def parallel_counters(report: "GridReport") -> Dict[str, float]:
         "unit_seconds": stats.unit_seconds,
         "elapsed_seconds": stats.elapsed_seconds,
         "worker_utilization": stats.worker_utilization,
+    }
+
+
+def fault_counters(result: SimulationResult) -> Dict[str, float]:
+    """One run's fault-injection counters, as one flat snapshot.
+
+    Always returns the full key set — a run executed without a fault
+    profile reads all-zero — so chaos reports can tabulate faulted and
+    perfect-fabric runs uniformly.
+    """
+    stats = result.fault_stats if result.fault_stats is not None else FaultStats()
+    return {
+        "faults_injected": float(stats.faults_injected),
+        "repairs_applied": float(stats.repairs_applied),
+        "link_down_events": float(stats.link_down_events),
+        "switch_failures": float(stats.switch_failures),
+        "host_crashes": float(stats.host_crashes),
+        "flows_rerouted": float(stats.flows_rerouted),
+        "rerouted_bytes": stats.rerouted_bytes,
+        "flows_parked": float(stats.flows_parked),
+        "flow_restarts": float(stats.flow_restarts),
+        "flows_recovered": float(stats.flows_recovered),
+        "max_recovery_seconds": stats.max_recovery_seconds,
+        "mean_recovery_seconds": stats.mean_recovery_seconds,
+        "hr_rounds_total": float(stats.hr_rounds_total),
+        "hr_rounds_dropped": float(stats.hr_rounds_dropped),
+        "hr_rounds_delayed": float(stats.hr_rounds_delayed),
+        "max_hr_staleness": stats.max_hr_staleness,
     }
 
 

@@ -4,12 +4,22 @@ ECMP load-balances flows over the equal-cost route candidates the topology
 exposes.  Like real switches, the choice is a deterministic hash of the
 flow identity, so a given flow always takes the same path (no packet
 reordering) while distinct flows spread across paths.
+
+The router is link-state aware: with a set of downed links attached (via
+:meth:`EcmpRouter.set_downed_links`), dead candidates are filtered out and
+the hash re-lands on the surviving ones — the same withdraw-and-rehash
+behaviour real ECMP gives when a next-hop is pruned.  When *every*
+candidate is down the router raises the typed
+:class:`~repro.errors.NoPathError` (never a ``ZeroDivisionError`` or
+``IndexError`` from a modulo over an empty list), so callers can park the
+flow until a repair restores connectivity.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro.errors import NoPathError
 from repro.jobs.flow import Flow
 from repro.simulator.topology.base import Topology
 
@@ -33,14 +43,85 @@ def flow_hash(flow_id: int, src: int, dst: int, salt: int = 0) -> int:
     return value
 
 
+def select_route(
+    candidates: List[Tuple[int, ...]], selector: int
+) -> Tuple[int, ...]:
+    """The ``selector``-th candidate, guarded against empty lists.
+
+    Raises :class:`NoPathError` instead of tripping ``% 0`` when the
+    candidate list has been filtered down to nothing.
+    """
+    if not candidates:
+        raise NoPathError("no route candidates available")
+    return candidates[selector % len(candidates)]
+
+
 class EcmpRouter:
     """Routes flows over a topology by hashing them onto path candidates."""
 
     def __init__(self, topology: Topology, salt: int = 0) -> None:
         self.topology = topology
         self.salt = salt
+        #: Live view of downed link ids; shared with the fault injector
+        #: (the same set object) so outages are visible without copying.
+        self._downed_links: Optional[Set[int]] = None
+
+    def set_downed_links(self, downed: Optional[Set[int]]) -> None:
+        """Attach the live downed-link set (``None`` = perfect fabric)."""
+        self._downed_links = downed
+
+    @property
+    def downed_links(self) -> FrozenSet[int]:
+        """The currently downed link ids (empty on a perfect fabric)."""
+        return frozenset(self._downed_links or ())
 
     def route_flow(self, flow: Flow) -> Tuple[int, ...]:
-        """Pick the flow's route; deterministic per flow identity."""
+        """Pick the flow's route; deterministic per flow identity.
+
+        With downed links present, candidates traversing them are
+        withdrawn and the flow's hash re-lands on the survivors — so a
+        repaired fabric routes exactly as if the fault never happened,
+        and a fully partitioned pair raises :class:`NoPathError`.
+        """
         selector = flow_hash(flow.flow_id, flow.src, flow.dst, self.salt)
-        return self.topology.route(flow.src, flow.dst, selector)
+        downed = self._downed_links
+        if not downed:
+            # Perfect-fabric fast path: byte-identical to the historical
+            # router, including its modulo-by-zero guard below.
+            choices = self.topology.num_route_choices(flow.src, flow.dst)
+            if choices <= 0:
+                raise NoPathError(
+                    f"topology exposes no route candidates for "
+                    f"{flow.src}->{flow.dst}"
+                )
+            return self.topology.route(flow.src, flow.dst, selector)
+        alive = self.alive_routes(flow.src, flow.dst)
+        if not alive:
+            raise NoPathError(
+                f"all routes {flow.src}->{flow.dst} are down "
+                f"({len(downed)} links failed): network partition"
+            )
+        return alive[selector % len(alive)]
+
+    def alive_routes(self, src: int, dst: int) -> List[Tuple[int, ...]]:
+        """Every candidate route avoiding downed links, in selector order.
+
+        Selector order (candidate index order) is what makes rerouting
+        deterministic: every caller filtering the same link state sees
+        the same surviving list in the same order.
+        """
+        downed = self._downed_links or set()
+        choices = self.topology.num_route_choices(src, dst)
+        alive: List[Tuple[int, ...]] = []
+        for index in range(choices):
+            route = self.topology.route(src, dst, index)
+            if not any(link_id in downed for link_id in route):
+                alive.append(route)
+        return alive
+
+    def route_is_alive(self, route: Tuple[int, ...]) -> bool:
+        """Whether a previously assigned route avoids all downed links."""
+        downed = self._downed_links
+        if not downed:
+            return True
+        return not any(link_id in downed for link_id in route)

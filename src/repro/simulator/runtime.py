@@ -18,9 +18,9 @@ Event loop invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
-from repro.errors import SimulationError
+from repro.errors import NoPathError, SimulationError
 from repro.jobs.coflow import Coflow
 from repro.jobs.flow import VOLUME_EPSILON, Flow
 from repro.jobs.job import Job
@@ -28,6 +28,17 @@ from repro.schedulers.context import SchedulerContext
 from repro.simulator.bandwidth.engine import AllocationState, EngineStats
 from repro.simulator.bandwidth.request import dispatch_allocation
 from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.faults import (
+    HR_DELAY,
+    HR_DROP,
+    POLICY_RESTART,
+    FaultAction,
+    FaultInjector,
+    FaultKind,
+    FaultProfile,
+    FaultStats,
+    default_fault_horizon,
+)
 from repro.simulator.invariants import (
     InvariantChecker,
     InvariantReport,
@@ -36,6 +47,9 @@ from repro.simulator.invariants import (
 from repro.simulator.routing.ecmp import EcmpRouter
 from repro.simulator.timecmp import time_resolution
 from repro.simulator.topology.base import Topology
+
+#: SCHEDULER_UPDATE payload marking a delayed (fault-injected) HR sync.
+_HR_DELAYED_SYNC = "hr-delayed"
 
 if TYPE_CHECKING:  # imported lazily to avoid a package cycle at runtime
     from repro.schedulers.base import SchedulerPolicy
@@ -59,6 +73,8 @@ class SimulationResult:
     engine_stats: Optional[EngineStats] = None
     #: invariant-checker outcome (None when the checker was disabled)
     invariant_report: Optional[InvariantReport] = None
+    #: fault-injection outcome (None when no fault profile was configured)
+    fault_stats: Optional[FaultStats] = None
 
     def job_completion_times(self) -> Dict[int, float]:
         """JCT per completed job id."""
@@ -110,6 +126,7 @@ class CoflowSimulation:
         use_engine: bool = True,
         check_invariants: Optional[bool] = None,
         strict_invariants: Optional[bool] = None,
+        faults: Optional[FaultProfile] = None,
     ) -> None:
         if not jobs:
             raise SimulationError("simulation needs at least one job")
@@ -148,6 +165,8 @@ class CoflowSimulation:
         )
         self._queue = EventQueue()
         self._capacities = self.topology.links.capacities()
+        #: pristine capacity vector; repairs restore revoked links from it
+        self._nominal_caps: List[float] = list(self._capacities)
         #: persistent allocation state, fed add/remove/priority deltas;
         #: ``use_engine=False`` selects the from-scratch legacy path (kept
         #: for differential benchmarks and as a correctness oracle).
@@ -169,6 +188,27 @@ class CoflowSimulation:
         self._epochs_skipped = 0
         self._incomplete_jobs = len(self.jobs)
         self._update_scheduled = False
+        #: fault injection (None = perfect fabric; all fault paths inert)
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None:
+            horizon = faults.horizon
+            if horizon is None:
+                horizon = default_fault_horizon(
+                    [job.arrival_time for job in self.jobs.values()]
+                )
+            self.fault_injector = FaultInjector(faults, topology, horizon)
+            # The router filters candidates against the injector's live
+            # downed-link set (shared object, not a copy).
+            self.router.set_downed_links(self.fault_injector.downed_links)
+        #: flows stalled by a partition or crashed endpoint (flow_id -> Flow)
+        self._parked: Dict[int, Flow] = {}
+        self._parked_since: Dict[int, float] = {}
+        #: δ-round counter indexing the HR channel's fault stream
+        self._hr_round = 0
+        #: flows the fault machinery re-inserted into the engine; unioned
+        #: into the next round's priority delta so delta-reporting
+        #: policies do not leave them misfiled in the lowest class
+        self._forced_priority_delta: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -182,6 +222,13 @@ class CoflowSimulation:
             first = min(job.arrival_time for job in self.jobs.values())
             self._queue.push(first + interval, EventKind.SCHEDULER_UPDATE)
             self._update_scheduled = True
+        if self.fault_injector is not None:
+            # The whole timeline is scheduled up front (it is a pure
+            # function of the profile), so every fault/repair sits ahead
+            # of the pop watermark by construction.
+            for action in self.fault_injector.timeline:
+                kind = EventKind.REPAIR if action.is_repair else EventKind.FAULT
+                self._queue.push(action.time, kind, payload=action)
 
         while self._queue and self._incomplete_jobs > 0:
             next_time = self._queue.peek_time()
@@ -195,9 +242,10 @@ class CoflowSimulation:
                 )
 
         if self._incomplete_jobs > 0 and until is None:
+            parked = f", {len(self._parked)} flows parked" if self._parked else ""
             raise SimulationError(
                 f"simulation stalled with {self._incomplete_jobs} incomplete jobs "
-                f"at t={self._now}"
+                f"at t={self._now}{parked}"
             )
         return SimulationResult(
             jobs=list(self.jobs.values()),
@@ -211,6 +259,11 @@ class CoflowSimulation:
             ),
             invariant_report=(
                 self.invariants.report() if self.invariants is not None else None
+            ),
+            fault_stats=(
+                self.fault_injector.stats
+                if self.fault_injector is not None
+                else None
             ),
         )
 
@@ -296,27 +349,248 @@ class CoflowSimulation:
             # handled by _finish_ripe_flows after the batch drains.
             return event.epoch == self._epoch
         if event.kind is EventKind.SCHEDULER_UPDATE:
-            changed = self.scheduler.on_update(self._now)
-            interval = self.scheduler.update_interval
-            if self._incomplete_jobs > 0 and interval is not None and interval > 0:
-                # Clamp past the batch-draining window so an interval below
-                # float time resolution cannot re-enter its own batch.
-                self._queue.push(
-                    self._now + max(interval, 2.0 * self._time_tick()),
-                    EventKind.SCHEDULER_UPDATE,
-                )
-            # Policies may report "nothing changed" to skip reallocation.
-            return True if changed is None else bool(changed)
+            return self._handle_scheduler_update(event)
+        if event.kind is EventKind.FAULT:
+            return self._apply_fault_action(event.payload)
+        if event.kind is EventKind.REPAIR:
+            return self._apply_repair_action(event.payload)
         raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _handle_scheduler_update(self, event: Event) -> bool:
+        """One δ-interval coordination round, possibly degraded by faults.
+
+        A dropped round skips ``on_update`` entirely: receivers keep
+        scheduling on their last-synced (stale) Ψ̈ view — the paper's
+        graceful-degradation regime — and the policy is told via
+        ``on_sync_degraded`` so it can apply its staleness bound.  A
+        delayed round re-materializes as a one-shot update event (which
+        does not reschedule the periodic cadence, so delayed syncs can
+        arrive after later rounds: reordering).
+        """
+        is_delayed_sync = event.payload == _HR_DELAYED_SYNC
+        interval = self.scheduler.update_interval
+        if (
+            not is_delayed_sync
+            and self._incomplete_jobs > 0
+            and interval is not None
+            and interval > 0
+        ):
+            # Clamp past the batch-draining window so an interval below
+            # float time resolution cannot re-enter its own batch.
+            self._queue.push(
+                self._now + max(interval, 2.0 * self._time_tick()),
+                EventKind.SCHEDULER_UPDATE,
+            )
+        injector = self.fault_injector
+        if (
+            injector is not None
+            and injector.profile.hr is not None
+            and not is_delayed_sync
+        ):
+            disposition, delay = injector.hr_disposition(self._hr_round, self._now)
+            self._hr_round += 1
+            if disposition == HR_DROP:
+                changed = self.scheduler.on_sync_degraded(self._now)
+                return False if changed is None else bool(changed)
+            if disposition == HR_DELAY:
+                self._queue.push(
+                    self._now + max(delay, 2.0 * self._time_tick()),
+                    EventKind.SCHEDULER_UPDATE,
+                    payload=_HR_DELAYED_SYNC,
+                )
+                changed = self.scheduler.on_sync_degraded(self._now)
+                return False if changed is None else bool(changed)
+        if is_delayed_sync and injector is not None:
+            injector.hr_delivered(self._now)
+        changed = self.scheduler.on_update(self._now)
+        # Policies may report "nothing changed" to skip reallocation.
+        return True if changed is None else bool(changed)
 
     def _release_coflow(self, coflow: Coflow) -> None:
         coflow.release(self._now)
+        injector = self.fault_injector
         for flow in coflow.flows:
-            flow.route = self.router.route_flow(flow)
+            if injector is not None and (
+                flow.src in injector.crashed_hosts
+                or flow.dst in injector.crashed_hosts
+            ):
+                self._park_flow(flow, in_active=False)
+                continue
+            try:
+                flow.route = self.router.route_flow(flow)
+            except NoPathError:
+                if injector is None:
+                    raise  # a perfect fabric with no route is a topology bug
+                self._park_flow(flow, in_active=False)
+                continue
             self._active[flow.flow_id] = flow
             if self.engine is not None:
                 self.engine.add_flow(flow.flow_id, flow.route)
         self.scheduler.on_coflow_release(coflow, self._now)
+
+    # ------------------------------------------------------------------
+    # Fault application (all methods assume an injector is present)
+    # ------------------------------------------------------------------
+    def _apply_fault_action(self, action: FaultAction) -> bool:
+        injector = self.fault_injector
+        assert injector is not None
+        stats = injector.stats
+        stats.faults_injected += 1
+        changed = False
+        if action.kind in (FaultKind.LINK_DOWN, FaultKind.SWITCH_DOWN):
+            newly = injector.links_down(action.links)
+            stats.link_down_events += len(newly)
+            if action.kind == FaultKind.SWITCH_DOWN:
+                stats.switch_failures += 1
+            for link_id in newly:
+                self._set_link_capacity(link_id, 0.0)
+            if newly:
+                self._reroute_after_outage()
+                changed = True  # capacity changed even if no flow moved
+        elif action.kind == FaultKind.HOST_DOWN:
+            newly = injector.hosts_down(action.hosts, action.policy)
+            stats.host_crashes += len(newly)
+            if newly:
+                self._crash_hosts(newly, action.policy)
+                self.scheduler.on_hosts_changed(
+                    frozenset(injector.crashed_hosts), self._now
+                )
+                changed = True
+        else:
+            raise SimulationError(f"unknown fault action kind {action.kind!r}")
+        if self.invariants is not None:
+            self.invariants.note_fault_state(
+                injector.downed_links, injector.crashed_hosts
+            )
+        return changed
+
+    def _apply_repair_action(self, action: FaultAction) -> bool:
+        injector = self.fault_injector
+        assert injector is not None
+        stats = injector.stats
+        stats.repairs_applied += 1
+        changed = False
+        if action.kind in (FaultKind.LINK_UP, FaultKind.SWITCH_UP):
+            restored = injector.links_up(action.links)
+            for link_id in restored:
+                self._set_link_capacity(link_id, self._nominal_caps[link_id])
+            if restored:
+                changed = True
+        elif action.kind == FaultKind.HOST_UP:
+            recovered = injector.hosts_up(action.hosts)
+            if recovered:
+                self.scheduler.on_hosts_changed(
+                    frozenset(injector.crashed_hosts), self._now
+                )
+                changed = True
+        else:
+            raise SimulationError(f"unknown repair action kind {action.kind!r}")
+        if changed:
+            self._unpark_flows()
+        if self.invariants is not None:
+            self.invariants.note_fault_state(
+                injector.downed_links, injector.crashed_hosts
+            )
+        return changed
+
+    def _set_link_capacity(self, link_id: int, capacity: float) -> None:
+        """Propagate one link's revoked/restored capacity everywhere."""
+        self._capacities[link_id] = capacity  # legacy dispatch path
+        if self.engine is not None:
+            self.engine.set_capacity(link_id, capacity)
+        if self.invariants is not None:
+            self.invariants.note_capacity(link_id, capacity)
+
+    def _reroute_after_outage(self) -> None:
+        """Move active flows off downed links; park the partitioned ones."""
+        injector = self.fault_injector
+        assert injector is not None
+        victims = [
+            flow
+            for _, flow in sorted(self._active.items())
+            if not self.router.route_is_alive(flow.route)
+        ]
+        for flow in victims:
+            try:
+                new_route = self.router.route_flow(flow)
+            except NoPathError:
+                self._park_flow(flow, in_active=True)
+                continue
+            flow.route = new_route
+            if self.engine is not None:
+                self.engine.update_route(flow.flow_id, new_route)
+            injector.stats.flows_rerouted += 1
+            injector.stats.rerouted_bytes += flow.remaining_bytes
+
+    def _crash_hosts(self, hosts: Sequence[int], policy: str) -> None:
+        """Abort every active flow with an endpoint on a crashed host."""
+        injector = self.fault_injector
+        assert injector is not None
+        crashed = set(hosts)
+        victims = [
+            flow
+            for _, flow in sorted(self._active.items())
+            if flow.src in crashed or flow.dst in crashed
+        ]
+        for flow in victims:
+            if policy == POLICY_RESTART:
+                # Restart-from-zero: delivered bytes are discarded, and
+                # the job-level progress cache must forget them too or
+                # Ψ̈-driven priorities would credit phantom progress.
+                discarded = flow.bytes_sent
+                if discarded > 0:
+                    self._job_bytes[self._job_of_flow[flow.flow_id]] -= discarded
+                flow.remaining_bytes = float(flow.size_bytes)
+                injector.stats.flow_restarts += 1
+                self.scheduler.on_flow_restart(flow, self._now)
+            self._park_flow(flow, in_active=True)
+
+    def _park_flow(self, flow: Flow, *, in_active: bool) -> None:
+        """Stall a flow until a repair makes it schedulable again.
+
+        Parked flows leave the active set and the allocation engine, so
+        the downed-link and crashed-host invariants hold by construction:
+        nothing can allocate rate to them or credit them progress.
+        """
+        injector = self.fault_injector
+        assert injector is not None
+        if in_active:
+            del self._active[flow.flow_id]
+            if self.engine is not None:
+                self.engine.remove_flow(flow.flow_id)
+        flow.rate = 0.0
+        self._parked[flow.flow_id] = flow
+        self._parked_since[flow.flow_id] = self._now
+        injector.stats.flows_parked += 1
+
+    def _unpark_flows(self) -> None:
+        """Resume every parked flow the repaired fabric can serve again."""
+        injector = self.fault_injector
+        assert injector is not None
+        for flow_id in sorted(self._parked):
+            flow = self._parked[flow_id]
+            if (
+                flow.src in injector.crashed_hosts
+                or flow.dst in injector.crashed_hosts
+            ):
+                continue
+            try:
+                route = self.router.route_flow(flow)
+            except NoPathError:
+                continue  # still partitioned; a later repair may help
+            flow.route = route
+            del self._parked[flow_id]
+            self._active[flow_id] = flow
+            if self.engine is not None:
+                self.engine.add_flow(flow_id, route)
+                # add_flow files the flow in the lowest class; make sure
+                # the next allocation re-files it under its true class
+                # even for policies that report precise priority deltas.
+                self._forced_priority_delta.add(flow_id)
+            injector.stats.flows_recovered += 1
+            injector.stats.recovery_seconds.append(
+                self._now - self._parked_since.pop(flow_id)
+            )
 
     def _time_tick(self) -> float:
         """The smallest representable time step at the current clock.
@@ -367,6 +641,12 @@ class CoflowSimulation:
             return
         request = self.scheduler.allocation(active, self._now)
         priority_delta = self.scheduler.consume_priority_delta()
+        if self._forced_priority_delta:
+            if priority_delta is not None:
+                priority_delta = priority_delta | frozenset(
+                    self._forced_priority_delta
+                )
+            self._forced_priority_delta.clear()
         if self.engine is not None:
             rates = self.engine.allocate(request, priority_delta=priority_delta)
         else:
@@ -407,8 +687,10 @@ def simulate(
     router: Optional[EcmpRouter] = None,
     until: Optional[float] = None,
     use_engine: bool = True,
+    faults: Optional[FaultProfile] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`CoflowSimulation` and run it."""
     return CoflowSimulation(
-        topology, scheduler, jobs, router=router, use_engine=use_engine
+        topology, scheduler, jobs, router=router, use_engine=use_engine,
+        faults=faults,
     ).run(until=until)

@@ -301,3 +301,54 @@ class TestEndToEnd:
         assert sorted(plain.job_completion_times().values()) == sorted(
             checked.job_completion_times().values()
         )
+
+
+# ----------------------------------------------------------------------
+# Fault-aware checks
+# ----------------------------------------------------------------------
+class TestFaultAwareChecks:
+    def test_allocation_on_downed_link_detected(self):
+        checker = make_checker()
+        checker.note_fault_state(downed_links={1}, crashed_hosts=set())
+        flow = make_flow(1, (0, 1))
+        checker.check_allocation([flow], {1: 5.0}, now=1.0)
+        report = checker.report()
+        assert report.counts[InvariantChecker.DOWNED_LINK] == 1
+
+    def test_zero_rate_on_downed_link_is_fine(self):
+        checker = make_checker()
+        checker.note_fault_state(downed_links={1}, crashed_hosts=set())
+        flow = make_flow(1, (0, 1))
+        checker.check_allocation([flow], {1: 0.0}, now=1.0)
+        assert checker.report().clean
+
+    def test_progress_on_crashed_host_detected(self):
+        checker = make_checker()
+        checker.note_fault_state(downed_links=set(), crashed_hosts={0})
+        flow = make_flow(1, (2,))  # src=0 per make_flow
+        checker.check_allocation([flow], {1: 5.0}, now=1.0)
+        report = checker.report()
+        assert report.counts[InvariantChecker.CRASHED_HOST] == 1
+
+    def test_repair_clears_fault_state(self):
+        checker = make_checker()
+        checker.note_fault_state(downed_links={1}, crashed_hosts={0})
+        checker.note_fault_state(downed_links=set(), crashed_hosts=set())
+        flow = make_flow(1, (0, 1))
+        checker.check_allocation([flow], {1: 5.0}, now=1.0)
+        assert checker.report().clean
+
+    def test_revoked_capacity_feeds_conservation_check(self):
+        checker = make_checker()
+        checker.note_capacity(1, 2.0)  # revoke 10 -> 2
+        flows = [make_flow(1, (0, 1))]
+        checker.check_allocation(flows, {1: 5.0}, now=1.0)
+        report = checker.report()
+        assert report.counts[InvariantChecker.CAPACITY] == 1
+
+    def test_strict_mode_raises_on_downed_link(self):
+        checker = make_checker(strict=True)
+        checker.note_fault_state(downed_links={1}, crashed_hosts=set())
+        flow = make_flow(1, (0, 1))
+        with pytest.raises(SimulationError):
+            checker.check_allocation([flow], {1: 5.0}, now=1.0)

@@ -1,0 +1,167 @@
+"""Failure-isolation hardening of the parallel grid engine.
+
+Covers the robustness additions: exponential retry backoff, the
+per-unit wall-clock timeout, hung-worker termination with pool rebuild,
+and the structured ``UnitFailure(kind="timeout")`` records.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import parallel as parallel_module
+from repro.experiments.common import ScenarioConfig, ScenarioResult
+from repro.experiments.parallel import WorkUnit, run_grid
+
+#: Empty scheduler set: result validation accepts a bare ScenarioResult,
+#: letting these tests use stub runners instead of real simulations.
+def _unit(name: str, seed: int = 1) -> WorkUnit:
+    return WorkUnit(
+        config=ScenarioConfig(name=name, seed=seed, schedulers=())
+    )
+
+
+def _ok(unit: WorkUnit) -> ScenarioResult:
+    return ScenarioResult(config=unit.config)
+
+
+def _hang_first_unit(unit: WorkUnit) -> ScenarioResult:
+    if unit.config.name == "hang":
+        time.sleep(60.0)
+    return ScenarioResult(config=unit.config)
+
+
+def _always_hang(unit: WorkUnit) -> ScenarioResult:
+    time.sleep(60.0)
+    return ScenarioResult(config=unit.config)
+
+
+class TestParameterValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid([_unit("a")], retries=-1, run_unit=_ok)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid([_unit("a")], backoff_base=-0.1, run_unit=_ok)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid([_unit("a")], unit_timeout=0.0, run_unit=_ok)
+
+
+class TestRetryBackoff:
+    def test_backoff_spaces_attempts_exponentially(self, monkeypatch):
+        sleeps = []
+
+        def recording_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            time.sleep(seconds)
+
+        monkeypatch.setattr(parallel_module, "_sleep", recording_sleep)
+        attempts = {"count": 0}
+
+        def flaky(unit: WorkUnit) -> ScenarioResult:
+            attempts["count"] += 1
+            if attempts["count"] <= 2:
+                raise RuntimeError("transient")
+            return ScenarioResult(config=unit.config)
+
+        report = run_grid(
+            [_unit("flaky")],
+            parallel=2,
+            retries=2,
+            backoff_base=0.02,
+            run_unit=flaky,
+            use_threads=True,
+        )
+        assert report.ok
+        assert report.stats.retries == 2
+        assert attempts["count"] == 3
+        # First retry waits ~backoff_base, second ~2x that (the engine
+        # may split one wait across wake-ups, so compare the total).
+        assert sum(sleeps) >= 0.02 + 0.04 - 0.005
+
+    def test_zero_backoff_retries_immediately(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_module, "_sleep",
+            lambda s: pytest.fail("backoff sleep with backoff_base=0"),
+        )
+        attempts = {"count": 0}
+
+        def flaky(unit: WorkUnit) -> ScenarioResult:
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("transient")
+            return ScenarioResult(config=unit.config)
+
+        report = run_grid(
+            [_unit("flaky")], retries=1, run_unit=flaky, use_threads=True,
+            parallel=2,
+        )
+        assert report.ok and report.stats.retries == 1
+
+
+class TestUnitTimeout:
+    def test_hung_process_worker_is_killed_and_pool_rebuilt(self):
+        units = [_unit("hang")] + [_unit(f"ok{i}") for i in range(3)]
+        events = []
+        started = time.monotonic()
+        report = run_grid(
+            units,
+            parallel=2,
+            unit_timeout=1.0,
+            run_unit=_hang_first_unit,
+            progress=lambda e: events.append((e.kind, e.index)),
+        )
+        elapsed = time.monotonic() - started
+        # The hung worker must not stall the grid for its full 60s sleep.
+        assert elapsed < 30.0
+        assert report.stats.timeouts == 1
+        assert report.stats.failures == 1
+        assert report.stats.completed == 3
+        (failure,) = report.failures
+        assert failure.kind == "timeout"
+        assert failure.index == 0
+        assert "timeout" in failure.error
+        assert ("timeout", 0) in events
+
+    def test_timeouts_are_not_retried(self):
+        report = run_grid(
+            [_unit("hang")],
+            parallel=2,
+            retries=3,
+            unit_timeout=0.5,
+            run_unit=_always_hang,
+        )
+        assert report.stats.timeouts == 1
+        assert report.stats.retries == 0
+        assert report.failures[0].kind == "timeout"
+
+    def test_fast_units_unaffected_by_timeout(self):
+        report = run_grid(
+            [_unit(f"u{i}") for i in range(4)],
+            parallel=2,
+            unit_timeout=30.0,
+            run_unit=_ok,
+            use_threads=True,
+        )
+        assert report.ok
+        assert report.stats.timeouts == 0
+        assert report.stats.completed == 4
+
+    def test_error_failures_keep_kind_error(self):
+        def boom(unit: WorkUnit) -> ScenarioResult:
+            raise ValueError("broken unit")
+
+        report = run_grid(
+            [_unit("boom")], retries=0, run_unit=boom, use_threads=True,
+            parallel=2,
+        )
+        (failure,) = report.failures
+        assert failure.kind == "error"
+        assert "broken unit" in failure.error
+        assert failure.to_dict()["kind"] == "error"
