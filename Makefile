@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast chaos-smoke all
+.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast chaos-smoke bench bench-check all
 
 ## Per-file static analysis (SIM001-SIM006).
 lint:
@@ -37,6 +37,16 @@ test:
 ## Unit tests only (fast inner loop).
 test-fast:
 	$(PYTHON) -m pytest tests/unit -x -q
+
+## Re-capture the committed performance trajectory (BENCH_6.json).
+## Run on an otherwise-idle machine; takes a few minutes.
+bench:
+	$(PYTHON) benchmarks/perf_trajectory.py --out BENCH_6.json
+
+## What the perf-smoke CI job runs: the small pinned workload against
+## the committed numbers (REPRO_PERF_TOLERANCE overrides the 20% band).
+bench-check:
+	$(PYTHON) benchmarks/perf_trajectory.py --check BENCH_6.json --workloads scal-k4
 
 ## Strict-invariant chaos run (what the chaos-smoke CI job executes).
 chaos-smoke:

@@ -120,11 +120,12 @@ def coflow_psi_estimated(
     mean flow sizes by the bytes each flow has delivered so far; γ̈ by the
     completed-stage count.
     """
+    width, observed_max, observed_mean = coflow.observed_stats()
     return blocking_effect(
         gamma_estimated(completed_stages),
-        coflow.active_width,
-        coflow.observed_max_flow_bytes,
-        coflow.observed_mean_flow_bytes,
+        width,
+        observed_max,
+        observed_mean,
         beta_floor=beta_floor,
     )
 

@@ -18,11 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
-from repro.core.blocking import (
-    coflow_psi_estimated,
-    job_stage_psi,
-    psi_from_observation,
-)
+from repro.core.blocking import job_stage_psi, psi_from_observation
 from repro.core.config import GuritaConfig
 from repro.core.critical_path import AvaCriticalPathEstimator
 from repro.core.receiver import CoflowObservation
@@ -116,12 +112,17 @@ class HeadReceiver:
                 )
                 observed_max = observation.max_flow_bytes
             else:
-                psi = coflow_psi_estimated(
-                    coflow,
+                # One pass over the coflow's flows yields Ψ̈ *and* the
+                # critical-path estimator's input (the properties would
+                # walk the flow list four times per coflow per round).
+                width, observed_max, observed_mean = coflow.observed_stats()
+                psi = psi_from_observation(
+                    width,
+                    observed_max,
+                    observed_mean,
                     completed_stages=coflow.stage - 1,
                     beta_floor=self.config.beta_floor,
                 )
-                observed_max = coflow.observed_max_flow_bytes
             estimator.observe(observed_max)
             flagged = False
             if self.config.critical_path_bonus > 0:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import InvalidJobError
 from repro.jobs.flow import Flow, FlowState
@@ -108,6 +108,28 @@ class Coflow:
         if not self.flows:
             return 0.0
         return self.bytes_sent / len(self.flows)
+
+    def observed_stats(self) -> Tuple[int, float, float]:
+        """``(active_width, observed_max, observed_mean)`` in one pass.
+
+        Ψ̈ needs all three every scheduling round; computing them via the
+        individual properties walks the flow list three times (four with
+        the critical-path estimator re-reading the max).  One pass in the
+        same flow order produces bit-identical values: the sum accumulates
+        in list order, the max is an exact selection, and the mean divides
+        the same sum by the same width.
+        """
+        active = 0
+        total = 0.0
+        largest = 0.0
+        for flow in self.flows:
+            if flow.state is FlowState.ACTIVE:
+                active += 1
+            sent = flow.size_bytes - flow.remaining_bytes
+            total += sent
+            if sent > largest:
+                largest = sent
+        return active, largest, total / len(self.flows)
 
     # ------------------------------------------------------------------
     # Lifecycle

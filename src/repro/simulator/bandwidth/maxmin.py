@@ -5,10 +5,22 @@ limiter that behaves like TCP"): flows traversing a bottleneck link share it
 equally, and no flow can increase its rate without decreasing that of a flow
 with an equal or smaller rate (Bertsekas & Gallager's water-filling).
 
-The implementation is vectorised over links with numpy: each round finds
-the bottleneck fair share, freezes every flow crossing a bottleneck link at
-that rate, and subtracts the allocation — the hot path of the whole
-simulator.
+This is the hot path of the whole simulator, and two implementations of
+the round loop live behind one API.  The default
+(:func:`_water_fill_scalar`) maintains the per-link fair-share vector
+*incrementally*: the full vector is derived once per fill, then each
+round only finds its minimum, freezes the members of the bottleneck
+links, and recomputes the share at only the links those flows touched;
+a link's count hits zero the round it bottlenecks, so each member list
+is scanned at most once per fill.  The alternative
+(:func:`_water_fill_vectorized`, gated by ``_VECTOR_DISPATCH``) runs
+each round on a flat CSR-style view of the routes
+(``np.minimum.reduceat`` for per-flow bottleneck detection,
+``np.subtract.at`` for the residual update).  Both replicate the
+historical loop's arithmetic operation-for-operation — within one round
+every frozen flow subtracts the *same* bottleneck share from its links
+in the same order — so the produced rates are bit-identical, and the
+parity suite holds them to that.
 
 The membership structures (which flows cross which link) are factored into
 :class:`LinkMembership` so the incremental engine
@@ -17,6 +29,14 @@ allocation epochs and mutate them by flow add/remove deltas instead of
 rebuilding them on every call.  Every from-scratch construction is counted
 (see :func:`membership_rebuilds`) — the engine's acceptance metric is built
 on exactly this counter.
+
+Float comparisons against the bottleneck share and against exhausted
+residual capacity are routed through the blessed helpers
+:func:`share_at_most` / :func:`capacity_exhausted` (the
+:mod:`repro.simulator.timecmp` discipline applied to rates): capacities
+revoked to zero by fault injection, or degraded to within ``_EPSILON`` of
+zero, must freeze their flows instead of spinning the progressive-filling
+loop on sub-epsilon residuals.
 """
 
 from __future__ import annotations
@@ -27,6 +47,49 @@ import numpy as np
 import numpy.typing as npt
 
 _EPSILON = 1e-9
+
+#: Flow counts below which the vectorised round is never worth trying
+#: (numpy call overhead dominates tiny memberships).
+_VECTOR_MIN_FLOWS = 12
+
+#: Whether :func:`water_fill_membership` dispatches to the CSR round loop
+#: at ``_VECTOR_MIN_FLOWS``+ flows.  Calibration on fattree-shaped
+#: memberships (see docs/performance.md) found the incremental-share
+#: scalar loop faster at *every* measured size — its python freeze work
+#: touches only bottleneck-link members, while each CSR round pays
+#: O(total hops) in the gather/reduceat — so the vectorised path is kept
+#: behind this switch for mass-tie workloads and the parity suite.
+_VECTOR_DISPATCH = False
+
+
+def share_at_most(
+    shares: npt.NDArray[np.float64],
+    bottleneck: float,
+    out: Union[npt.NDArray[np.bool_], None] = None,
+) -> npt.NDArray[np.bool_]:
+    """Blessed comparison: which ``shares`` equal ``bottleneck`` within
+    tolerance?
+
+    The absolute ``_EPSILON`` slack mirrors the historical behaviour (and
+    keeps the figure fingerprints bit-identical); links whose fair share
+    ties with the bottleneck within it freeze in the same round instead of
+    spinning one near-empty round each.  ``out`` lets the hot loop reuse
+    a round-scratch buffer.
+    """
+    result: npt.NDArray[np.bool_] = np.less_equal(
+        shares, bottleneck + _EPSILON, out=out
+    )
+    return result
+
+
+def capacity_exhausted(capacity: float) -> bool:
+    """Blessed comparison: is a residual capacity effectively zero?
+
+    Fault-degraded links (``set_capacity`` to zero, or drift within
+    ``_EPSILON`` of it) cannot host progress; their flows must freeze at
+    share zero rather than keep the filling loop alive.
+    """
+    return capacity <= _EPSILON
 
 #: A flow's route: the directed link ids it traverses.
 Route = Tuple[int, ...]
@@ -47,6 +110,58 @@ def reset_membership_rebuilds() -> None:
     _membership_rebuilds = 0
 
 
+class _CsrView:
+    """Flat CSR view of a membership's routes, plus reusable scratch.
+
+    Built once per membership mutation generation (see
+    :meth:`LinkMembership.csr`) instead of once per water-fill.  The
+    scratch buffers let the round loop run entirely with ``out=``
+    arguments; a membership is never water-filled reentrantly, so the
+    buffers cannot alias a concurrent fill.
+    """
+
+    __slots__ = (
+        "flow_ids", "arrs", "lengths", "links_flat", "starts",
+        "all_nonempty", "nonempty", "starts_nonempty", "fancy_safe",
+        "shares", "num_buf", "cpos", "gather", "seg_min", "active",
+        "newly_buf",
+    )
+
+    def __init__(self, membership: "LinkMembership") -> None:
+        self.flow_ids = list(membership.routes)
+        n = len(self.flow_ids)
+        arrays = membership.route_arrays
+        self.arrs = [arrays[flow_id] for flow_id in self.flow_ids]
+        self.lengths = np.fromiter(
+            (a.size for a in self.arrs), dtype=np.intp, count=n
+        )
+        self.links_flat = (
+            np.concatenate(self.arrs) if n else np.empty(0, dtype=np.intp)
+        )
+        ptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(self.lengths, out=ptr[1:])
+        self.starts = ptr[:-1]
+        self.nonempty = self.lengths > 0
+        self.all_nonempty = bool(self.nonempty.all())
+        self.starts_nonempty = self.starts[self.nonempty]
+        #: Routes are simple paths, so links within one route are distinct
+        #: and buffered fancy-index subtraction equals ``np.subtract.at``.
+        #: Guarded anyway: a degenerate route with repeated links falls
+        #: back to the unbuffered path.
+        self.fancy_safe = all(
+            len(set(route)) == len(route)
+            for route in membership.routes.values()
+        )
+        num_links = membership.num_links
+        self.shares = np.empty(num_links, dtype=np.float64)
+        self.num_buf = np.empty(num_links, dtype=np.float64)
+        self.cpos = np.empty(num_links, dtype=bool)
+        self.gather = np.empty(self.links_flat.size, dtype=np.float64)
+        self.seg_min = np.empty(n, dtype=np.float64)
+        self.active = np.empty(n, dtype=bool)
+        self.newly_buf = np.empty(n, dtype=bool)
+
+
 class LinkMembership:
     """Per-link flow membership: who crosses each link, and how many.
 
@@ -60,13 +175,22 @@ class LinkMembership:
     keeps engine allocations reproducible run to run.
     """
 
-    __slots__ = ("num_links", "routes", "counts", "link_members")
+    __slots__ = (
+        "num_links", "routes", "counts", "link_members", "route_arrays", "_csr"
+    )
 
     def __init__(self, num_links: int) -> None:
         self.num_links = num_links
         self.routes: Dict[int, Route] = {}
         self.counts: npt.NDArray[np.int64] = np.zeros(num_links, dtype=np.int64)
         self.link_members: Dict[int, Dict[int, None]] = {}
+        #: per-flow route as an index array, kept in lockstep with
+        #: ``routes`` — the vectorised water-fill gathers these instead of
+        #: re-materialising arrays from tuples every round.
+        self.route_arrays: Dict[int, npt.NDArray[np.intp]] = {}
+        #: lazily-built flat CSR view of the routes (see :meth:`csr`);
+        #: dropped on any add/remove.
+        self._csr: Union[_CsrView, None] = None
 
     @classmethod
     def from_routes(
@@ -85,18 +209,35 @@ class LinkMembership:
         if flow_id in self.routes:
             raise ValueError(f"flow {flow_id} already in membership")
         self.routes[flow_id] = route
+        self.route_arrays[flow_id] = np.asarray(route, dtype=np.intp)
+        self._csr = None
         for link_id in route:
             self.counts[link_id] += 1
             self.link_members.setdefault(link_id, {})[flow_id] = None
 
     def remove(self, flow_id: int) -> None:
         route = self.routes.pop(flow_id)
+        del self.route_arrays[flow_id]
+        self._csr = None
         for link_id in route:
             self.counts[link_id] -= 1
             members = self.link_members[link_id]
             del members[flow_id]
             if not members:
                 del self.link_members[link_id]
+
+    def csr(self) -> "_CsrView":
+        """The flat CSR view of the current routes, cached across fills.
+
+        The incremental engine keeps memberships alive over many
+        allocation epochs; rebuilding the concatenated link array every
+        water-fill was measurable on the profile.  Any :meth:`add` /
+        :meth:`remove` drops the cache.
+        """
+        view = self._csr
+        if view is None:
+            view = self._csr = _CsrView(self)
+        return view
 
     def __len__(self) -> int:
         return len(self.routes)
@@ -121,16 +262,54 @@ def water_fill_membership(
     if not membership.routes:
         return rates
 
-    res = residual
+    if _VECTOR_DISPATCH and len(membership.routes) >= _VECTOR_MIN_FLOWS:
+        _water_fill_vectorized(membership, residual, rates)
+    else:
+        _water_fill_scalar(membership, residual, rates)
+
+    # Clean up float drift: clamp tiny negative residuals to zero.
+    np.clip(residual, 0.0, None, out=residual)
+    return rates
+
+
+def _water_fill_scalar(
+    membership: LinkMembership,
+    res: npt.NDArray[np.float64],
+    rates: Dict[int, float],
+) -> None:
+    """The historical per-flow loop; fastest for tiny memberships.
+
+    Kept operation-for-operation identical to the vectorised path (same
+    share formula, same freeze tolerance, same per-round subtractions) so
+    both produce bit-identical rates — the parity suite asserts it.
+    """
     routes = membership.routes
-    counts = membership.counts.copy()
+    shares = np.empty_like(res)
+    num_buf = np.empty_like(res)
+    mask_buf = np.empty(res.size, dtype=bool)
+
+    # Initial share vector — same floats as the historical np.where
+    # formulation: divide only where counts > 0, +inf everywhere else.
+    # Subsequent rounds update *touched links only* with the identical
+    # scalar formula (max(res, 0) / count), so every round sees exactly
+    # the share vector the full recompute would have produced.
+    shares.fill(np.inf)
+    np.maximum(res, 0.0, out=num_buf)
+    np.greater(membership.counts, 0, out=mask_buf)
+    np.divide(num_buf, membership.counts, out=shares, where=mask_buf)
+
+    # Round state lives in plain python containers — scalar list indexing
+    # is several times cheaper than numpy item access at these sizes.
+    # ``res`` is written back below (all float arithmetic is IEEE double
+    # either way — bit-identical).
+    link_members = membership.link_members
+    res_l: List[float] = res.tolist()
+    counts_l: List[int] = membership.counts.tolist()
+    inf = np.inf
+
     frozen: Dict[int, None] = {}
     remaining = len(routes)
     while remaining > 0:
-        with np.errstate(divide="ignore", invalid="ignore"):
-            shares = np.where(
-                counts > 0, np.maximum(res, 0.0) / np.maximum(counts, 1), np.inf
-            )
         bottleneck_share = float(shares.min())
         if not np.isfinite(bottleneck_share):
             # Remaining flows traverse no contended link (empty routes, or
@@ -139,13 +318,23 @@ def water_fill_membership(
                 if flow_id not in frozen:
                     rates[flow_id] = 0.0
             break
-        bottleneck_links = np.flatnonzero(shares <= bottleneck_share + _EPSILON)
+        bottleneck_links = (
+            share_at_most(shares, bottleneck_share, out=mask_buf)
+            .nonzero()[0]
+            .tolist()
+        )
+        # A link's count hits zero the round it bottlenecks, so each
+        # link's member list is scanned at most once per fill — skipping
+        # already-frozen members with a dict check beats maintaining
+        # shrunken member copies.
         newly_frozen: List[int] = []
         for link_id in bottleneck_links:
-            for flow_id in membership.link_members.get(int(link_id), ()):
-                if flow_id not in frozen:
-                    frozen[flow_id] = None
-                    newly_frozen.append(flow_id)
+            members = link_members.get(link_id)
+            if members:
+                for flow_id in members:
+                    if flow_id not in frozen:
+                        frozen[flow_id] = None
+                        newly_frozen.append(flow_id)
         if not newly_frozen:
             # Defensive: should be impossible, but never spin forever.
             for flow_id in routes:
@@ -154,14 +343,111 @@ def water_fill_membership(
             break
         for flow_id in newly_frozen:
             rates[flow_id] = bottleneck_share
-            for link_id in routes[flow_id]:
-                res[link_id] -= bottleneck_share
-                counts[link_id] -= 1
+            route = routes[flow_id]
+            for link_id in route:
+                res_l[link_id] -= bottleneck_share
+                counts_l[link_id] -= 1
+            # Refresh the touched links' shares right away; a link shared
+            # with a later flow of this round just gets recomputed again,
+            # and only the final value is ever read (next round's min).
+            for link_id in route:
+                count = counts_l[link_id]
+                if count > 0:
+                    residual = res_l[link_id]
+                    shares[link_id] = (
+                        residual if residual > 0.0 else 0.0
+                    ) / count
+                else:
+                    shares[link_id] = inf
         remaining -= len(newly_frozen)
+    res[:] = res_l
 
-    # Clean up float drift: clamp tiny negative residuals to zero.
-    np.clip(res, 0.0, None, out=res)
-    return rates
+
+def _water_fill_vectorized(
+    membership: LinkMembership,
+    res: npt.NDArray[np.float64],
+    rates: Dict[int, float],
+) -> None:
+    """Progressive filling on a flat CSR view of the routes.
+
+    Per round: one share vector over the links, per-flow bottleneck
+    detection via ``np.minimum.reduceat``, and an unbuffered
+    ``np.subtract.at`` residual update.  Bit-identity with the scalar
+    loop holds because every frozen flow of a round subtracts the *same*
+    bottleneck share — sequential subtraction of equal values yields the
+    same float regardless of flow order — and the share formula is
+    unchanged.
+    """
+    view = membership.csr()
+    flow_ids = view.flow_ids
+    arrs = view.arrs
+    n = len(flow_ids)
+    lengths = view.lengths
+    links_flat = view.links_flat
+    seg_min = view.seg_min
+    shares = view.shares
+    num_buf = view.num_buf
+    cpos = view.cpos
+    gather = view.gather
+    newly_buf = view.newly_buf
+    fancy_safe = view.fancy_safe
+
+    # Float counts make the per-round divide float/float — no internal
+    # int64 cast buffer.  Counts are small exact integers, so the shares
+    # are bit-identical to dividing by the integer array.
+    counts = membership.counts.astype(np.float64)
+    active = view.active
+    active.fill(True)
+    remaining = n
+    while remaining > 0:
+        shares.fill(np.inf)
+        np.maximum(res, 0.0, out=num_buf)
+        np.greater(counts, 0, out=cpos)
+        np.divide(num_buf, counts, out=shares, where=cpos)
+        bottleneck_share = float(shares.min())
+        if not np.isfinite(bottleneck_share):
+            # Remaining flows traverse no contended link (empty routes, or
+            # inconsistent membership) — they cannot be rate-limited here.
+            for i in np.flatnonzero(active):
+                rates[flow_ids[i]] = 0.0
+            break
+        if view.all_nonempty:
+            np.take(shares, links_flat, out=gather)
+            np.minimum.reduceat(gather, view.starts, out=seg_min)
+        else:
+            seg_min.fill(np.inf)
+            if links_flat.size:
+                seg_min[view.nonempty] = np.minimum.reduceat(
+                    shares[links_flat], view.starts_nonempty
+                )
+        newly = share_at_most(seg_min, bottleneck_share, out=newly_buf)
+        newly &= active
+        frozen_indices = np.flatnonzero(newly)
+        num_frozen = int(frozen_indices.size)
+        if num_frozen == 0:
+            # Defensive: should be impossible, but never spin forever.
+            for i in np.flatnonzero(active):
+                rates[flow_ids[i]] = bottleneck_share
+            break
+        if fancy_safe and num_frozen <= 8:
+            # Small tie group (the common case): apply per flow.  The
+            # subtraction order — ascending frozen index, then route
+            # order over distinct links — matches the flat
+            # ``subtract.at`` below exactly, so both branches are
+            # bit-identical.
+            for i in frozen_indices:
+                rates[flow_ids[i]] = bottleneck_share
+                arr = arrs[i]
+                res[arr] -= bottleneck_share
+                counts[arr] -= 1.0
+        else:
+            for i in frozen_indices:
+                rates[flow_ids[i]] = bottleneck_share
+            frozen_links = links_flat[np.repeat(newly, lengths)]
+            np.subtract.at(res, frozen_links, bottleneck_share)
+            counts -= np.bincount(frozen_links, minlength=counts.size)
+        active[frozen_indices] = False
+        remaining -= num_frozen
 
 
 def water_fill(

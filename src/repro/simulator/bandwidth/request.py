@@ -10,8 +10,7 @@ hands the request to :func:`dispatch_allocation`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchedulerError
 from repro.simulator.bandwidth.maxmin import Route, allocate_maxmin
@@ -33,25 +32,61 @@ class AllocationMode(enum.Enum):
     WRR = "wrr"  #: WRR-emulated SPQ (Gurita's starvation mitigation)
 
 
-@dataclass
 class AllocationRequest:
-    """A scheduler's bandwidth-division instructions for one round."""
+    """A scheduler's bandwidth-division instructions for one round.
 
-    mode: AllocationMode = AllocationMode.MAXMIN
-    #: flow id -> priority class, 0 = highest.  Ignored for MAXMIN.
-    priorities: Dict[int, int] = field(default_factory=dict)
-    num_classes: int = DEFAULT_NUM_CLASSES
-    #: Utilisation parameter for the WRR waiting-time model.
-    utilization: float = DEFAULT_UTILIZATION
-    #: "inverse_wait" (default) or "literal"; see :mod:`...bandwidth.wrr`.
-    weight_mode: str = "inverse_wait"
+    A ``__slots__`` class (historically a dataclass): one request is built
+    per reallocation round, and the engine touches its fields on every
+    allocation.  Construction, equality, and repr mirror the dataclass.
+    """
 
-    def __post_init__(self) -> None:
+    __slots__ = ("mode", "priorities", "num_classes", "utilization", "weight_mode")
+
+    def __init__(
+        self,
+        mode: AllocationMode = AllocationMode.MAXMIN,
+        priorities: Optional[Dict[int, int]] = None,
+        num_classes: int = DEFAULT_NUM_CLASSES,
+        utilization: float = DEFAULT_UTILIZATION,
+        weight_mode: str = "inverse_wait",
+    ) -> None:
+        self.mode = mode
+        #: flow id -> priority class, 0 = highest.  Ignored for MAXMIN.
+        self.priorities: Dict[int, int] = {} if priorities is None else priorities
+        self.num_classes = num_classes
+        #: Utilisation parameter for the WRR waiting-time model.
+        self.utilization = utilization
+        #: "inverse_wait" (default) or "literal"; see :mod:`...bandwidth.wrr`.
+        self.weight_mode = weight_mode
         if not 1 <= self.num_classes <= MAX_SWITCH_CLASSES:
             raise SchedulerError(
                 f"num_classes must be in [1, {MAX_SWITCH_CLASSES}], "
                 f"got {self.num_classes}"
             )
+
+    def _astuple(self) -> Tuple[object, ...]:
+        return (
+            self.mode,
+            self.priorities,
+            self.num_classes,
+            self.utilization,
+            self.weight_mode,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AllocationRequest:
+            return NotImplemented
+        assert isinstance(other, AllocationRequest)
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationRequest(mode={self.mode!r}, "
+            f"priorities={self.priorities!r}, "
+            f"num_classes={self.num_classes!r}, "
+            f"utilization={self.utilization!r}, "
+            f"weight_mode={self.weight_mode!r})"
+        )
 
     def params_key(self) -> Tuple[object, ...]:
         """Everything but the priority map, as a cache-invalidation key.

@@ -157,10 +157,22 @@ def allocate_wrr_memberships(
         # Guaranteed budget for this class on every link.
         budget = caps * share
         class_rates = water_fill_membership(members, budget)
-        for flow_id, rate in class_rates.items():
-            rates[flow_id] = rate
-            for link_id in members.routes[flow_id]:
-                consumed[link_id] += rate
+        rates.update(class_rates)
+        # Unbuffered np.add.at applies the per-flow charges sequentially in
+        # class_rates order — float-identical to the historical nested loop.
+        route_arrays = members.route_arrays
+        arrs = [route_arrays[flow_id] for flow_id in class_rates]
+        if arrs:
+            lengths = np.fromiter(
+                (a.size for a in arrs), dtype=np.intp, count=len(arrs)
+            )
+            charges = np.repeat(
+                np.fromiter(
+                    class_rates.values(), dtype=np.float64, count=len(arrs)
+                ),
+                lengths,
+            )
+            np.add.at(consumed, np.concatenate(arrs), charges)
 
     # Work-conservation pass: hand out whatever is left to everyone.
     leftover = np.maximum(caps - consumed, 0.0)

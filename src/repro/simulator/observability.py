@@ -168,10 +168,21 @@ class NetworkProbe:
         probe = NetworkProbe(sim)
         result = sim.run()
         print(probe.max_starvation_streak())
+
+    ``sample_every=n`` keeps only every n-th utilisation snapshot (the
+    expensive per-link pass).  Class accounting, starvation tracking, and
+    ``ever_starved`` still observe *every* reallocation round — they are
+    exact regardless of the sampling rate; only the utilisation time
+    series is thinned.
     """
 
-    def __init__(self, simulation: CoflowSimulation) -> None:
+    def __init__(
+        self, simulation: CoflowSimulation, sample_every: int = 1
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.simulation = simulation
+        self.sample_every = sample_every
         self.samples: List[UtilizationSample] = []
         self.class_accounting = ClassAccounting()
         self._capacities = simulation.topology.links.capacities()
@@ -179,6 +190,8 @@ class NetworkProbe:
         self._last_rates: Dict[int, Tuple[Optional[int], float]] = {}
         self._starved_since: Dict[int, float] = {}
         self._max_starvation: float = 0.0
+        self._ever_starved = False
+        self._rounds = 0
         original = simulation._reallocate
 
         def wrapped() -> None:
@@ -201,17 +214,29 @@ class NetworkProbe:
     def _sample(self) -> None:
         sim = self.simulation
         now = sim.now
-        usage = [0.0] * len(self._capacities)
         starved = 0
-        self._last_rates = {}
+        last_rates: Dict[int, Tuple[Optional[int], float]] = {}
+        # Exact bookkeeping, every round: the class accounting and the
+        # starvation detector must see every rate assignment or their
+        # totals drift.
         for flow in sim._active.values():
-            self._last_rates[flow.flow_id] = (flow.priority, flow.rate)
+            last_rates[flow.flow_id] = (flow.priority, flow.rate)
             if flow.rate <= 0.0:
                 starved += 1
                 start = self._starved_since.setdefault(flow.flow_id, now)
                 self._max_starvation = max(self._max_starvation, now - start)
             else:
                 self._starved_since.pop(flow.flow_id, None)
+        self._last_rates = last_rates
+        if starved:
+            self._ever_starved = True
+        take_snapshot = self._rounds % self.sample_every == 0
+        self._rounds += 1
+        if not take_snapshot:
+            return
+        # Thinned snapshot: the per-link pass is the probe's hot cost.
+        usage = [0.0] * len(self._capacities)
+        for flow in sim._active.values():
             for link_id in flow.route:
                 usage[link_id] += flow.rate
         utilizations = [
@@ -241,8 +266,12 @@ class NetworkProbe:
         return sum(s.mean_link_utilization for s in self.samples) / len(self.samples)
 
     def ever_starved(self) -> bool:
-        """Did any flow sit at rate zero at some reallocation instant?"""
-        return any(s.starved_flows > 0 for s in self.samples)
+        """Did any flow sit at rate zero at some reallocation instant?
+
+        Exact at any ``sample_every``: tracked per round, not per
+        retained snapshot.
+        """
+        return self._ever_starved
 
     def max_starvation_streak(self) -> float:
         """Longest continuous time one flow spent at rate zero."""

@@ -12,12 +12,22 @@ behaviour real ECMP gives when a next-hop is pruned.  When *every*
 candidate is down the router raises the typed
 :class:`~repro.errors.NoPathError` (never a ``ZeroDivisionError`` or
 ``IndexError`` from a modulo over an empty list), so callers can park the
-flow until a repair restores connectivity.
+flow until a repair restores connectivity.  Because candidate filtering
+preserves index order, repairs are exact inverses: once the downed set
+empties, every flow hashes back onto the route it held before the fault.
+
+Route decisions are cached.  Topology route candidates are immutable, so
+the perfect-fabric memo ``(src, dst, selector mod choices) -> route`` never
+expires; the per-pair alive-candidate lists are valid only for one
+link-state *generation* and are dropped by :meth:`EcmpRouter.
+invalidate_routes`, which the runtime calls on every fault **and** every
+repair (the downed-link set is shared live with the fault injector, so the
+router cannot observe mutations on its own).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import NoPathError
 from repro.jobs.flow import Flow
@@ -65,10 +75,37 @@ class EcmpRouter:
         #: Live view of downed link ids; shared with the fault injector
         #: (the same set object) so outages are visible without copying.
         self._downed_links: Optional[Set[int]] = None
+        #: Link-state generation; bumped on every invalidation so stale
+        #: cached routes are structurally unreachable.
+        self._links_generation = 0
+        #: Perfect-fabric memo: (src, dst, selector mod choices) -> route.
+        #: Topology candidates are immutable, so this never expires.
+        self._route_cache: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+        #: (src, dst) -> number of candidates; immutable like the routes.
+        self._choices_cache: Dict[Tuple[int, int], int] = {}
+        #: (src, dst) -> alive candidates for the *current* generation only.
+        self._alive_cache: Dict[Tuple[int, int], List[Tuple[int, ...]]] = {}
 
     def set_downed_links(self, downed: Optional[Set[int]]) -> None:
         """Attach the live downed-link set (``None`` = perfect fabric)."""
         self._downed_links = downed
+        self.invalidate_routes()
+
+    def invalidate_routes(self) -> None:
+        """Drop link-state-dependent route decisions (new generation).
+
+        Must be called whenever the attached downed-link set mutates —
+        on faults *and* on repairs.  Missing the repair-side call would
+        keep flows off their pre-fault paths forever; the chaos parity
+        suite locks in the withdraw-and-rehash round trip.
+        """
+        self._links_generation += 1
+        self._alive_cache.clear()
+
+    @property
+    def links_generation(self) -> int:
+        """Monotonic counter of link-state invalidations (for tests)."""
+        return self._links_generation
 
     @property
     def downed_links(self) -> FrozenSet[int]:
@@ -88,13 +125,18 @@ class EcmpRouter:
         if not downed:
             # Perfect-fabric fast path: byte-identical to the historical
             # router, including its modulo-by-zero guard below.
-            choices = self.topology.num_route_choices(flow.src, flow.dst)
+            choices = self._num_choices(flow.src, flow.dst)
             if choices <= 0:
                 raise NoPathError(
                     f"topology exposes no route candidates for "
                     f"{flow.src}->{flow.dst}"
                 )
-            return self.topology.route(flow.src, flow.dst, selector)
+            key = (flow.src, flow.dst, selector % choices)
+            route = self._route_cache.get(key)
+            if route is None:
+                route = self.topology.route(flow.src, flow.dst, selector)
+                self._route_cache[key] = route
+            return route
         alive = self.alive_routes(flow.src, flow.dst)
         if not alive:
             raise NoPathError(
@@ -103,20 +145,35 @@ class EcmpRouter:
             )
         return alive[selector % len(alive)]
 
+    def _num_choices(self, src: int, dst: int) -> int:
+        """Memoized ``topology.num_route_choices`` (candidate sets are static)."""
+        key = (src, dst)
+        choices = self._choices_cache.get(key)
+        if choices is None:
+            choices = self.topology.num_route_choices(src, dst)
+            self._choices_cache[key] = choices
+        return choices
+
     def alive_routes(self, src: int, dst: int) -> List[Tuple[int, ...]]:
         """Every candidate route avoiding downed links, in selector order.
 
         Selector order (candidate index order) is what makes rerouting
         deterministic: every caller filtering the same link state sees
-        the same surviving list in the same order.
+        the same surviving list in the same order.  Results are cached
+        per (src, dst) for the current link-state generation.
         """
+        key = (src, dst)
+        cached = self._alive_cache.get(key)
+        if cached is not None:
+            return cached
         downed = self._downed_links or set()
-        choices = self.topology.num_route_choices(src, dst)
+        choices = self._num_choices(src, dst)
         alive: List[Tuple[int, ...]] = []
         for index in range(choices):
             route = self.topology.route(src, dst, index)
             if not any(link_id in downed for link_id in route):
                 alive.append(route)
+        self._alive_cache[key] = alive
         return alive
 
     def route_is_alive(self, route: Tuple[int, ...]) -> bool:

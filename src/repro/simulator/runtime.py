@@ -17,17 +17,23 @@ Event loop invariants:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.errors import NoPathError, SimulationError
 from repro.jobs.coflow import Coflow
-from repro.jobs.flow import VOLUME_EPSILON, Flow
+from repro.jobs.flow import VOLUME_EPSILON, Flow, FlowState
 from repro.jobs.job import Job
 from repro.schedulers.context import SchedulerContext
 from repro.simulator.bandwidth.engine import AllocationState, EngineStats
 from repro.simulator.bandwidth.request import dispatch_allocation
-from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.events import (
+    Event,
+    EventKind,
+    EventQueueBase,
+    make_event_queue,
+)
 from repro.simulator.faults import (
     HR_DELAY,
     HR_DROP,
@@ -50,6 +56,8 @@ from repro.simulator.topology.base import Topology
 
 #: SCHEDULER_UPDATE payload marking a delayed (fault-injected) HR sync.
 _HR_DELAYED_SYNC = "hr-delayed"
+
+_LOG = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # imported lazily to avoid a package cycle at runtime
     from repro.schedulers.base import SchedulerPolicy
@@ -127,6 +135,7 @@ class CoflowSimulation:
         check_invariants: Optional[bool] = None,
         strict_invariants: Optional[bool] = None,
         faults: Optional[FaultProfile] = None,
+        event_queue: str = "heap",
     ) -> None:
         if not jobs:
             raise SimulationError("simulation needs at least one job")
@@ -163,7 +172,7 @@ class CoflowSimulation:
         self.scheduler.bind(
             SchedulerContext(self.jobs, self.coflows, self._job_bytes)
         )
-        self._queue = EventQueue()
+        self._queue: EventQueueBase = make_event_queue(event_queue)
         self._capacities = self.topology.links.capacities()
         #: pristine capacity vector; repairs restore revoked links from it
         self._nominal_caps: List[float] = list(self._capacities)
@@ -181,6 +190,9 @@ class CoflowSimulation:
             InvariantChecker(self._capacities, strict=strict) if enabled else None
         )
         self._active: Dict[int, Flow] = {}
+        #: cached once: logging guards on hot paths must cost one bool
+        #: check, not a logger-hierarchy walk per event
+        self._debug = _LOG.isEnabledFor(logging.DEBUG)
         self._now = 0.0
         self._epoch = 0
         self._events_processed = 0
@@ -247,6 +259,12 @@ class CoflowSimulation:
                 f"simulation stalled with {self._incomplete_jobs} incomplete jobs "
                 f"at t={self._now}{parked}"
             )
+        if self._debug:
+            _LOG.debug(
+                "run done: t=%.6f events=%d reallocations=%d skipped=%d",
+                self._now, self._events_processed,
+                self._reallocations, self._epochs_skipped,
+            )
         return SimulationResult(
             jobs=list(self.jobs.values()),
             makespan=self._now,
@@ -284,12 +302,14 @@ class CoflowSimulation:
         self._advance_to(batch_time)
         changed = self._handle(event)
 
-        # Drain all events that share this timestamp.  Events within one
-        # float tick of the batch are below time resolution — exact
-        # equality would split them into separate batches, each paying a
-        # redundant reallocation.
+        # Drain all events that share this timestamp.  Events within float
+        # time resolution of the batch denote the same simulation instant —
+        # exact equality would split them into separate batches, each
+        # paying a redundant reallocation.  The queue's has_event_within
+        # applies the same timecmp tolerance as its push-side watermark
+        # guard, so a batch straddling the watermark can never be split.
         horizon = batch_time + self._time_tick()
-        while self._queue and self._peek_at_most(horizon):
+        while self._queue.has_event_within(horizon):
             drained = self._queue.pop()
             if self.invariants is not None:
                 self.invariants.check_event_causality(drained.time, self._now)
@@ -324,17 +344,25 @@ class CoflowSimulation:
             )
         elapsed = time - self._now
         if elapsed > 0:
+            # Hottest loop in the simulator: every event batch touches every
+            # active flow.  Flow.advance is inlined here (identical float
+            # arithmetic) to drop a method call and re-reads per flow.
+            job_bytes = self._job_bytes
+            job_of_flow = self._job_of_flow
             for flow in self._active.values():
-                delivered = min(flow.rate * elapsed, flow.remaining_bytes)
+                rate = flow.rate
+                remaining = flow.remaining_bytes
+                delivered = rate * elapsed
+                if delivered > remaining:
+                    delivered = remaining
                 if delivered > 0:
-                    self._job_bytes[self._job_of_flow[flow.flow_id]] += delivered
-                flow.advance(elapsed)
+                    job_bytes[job_of_flow[flow.flow_id]] += delivered
+                if flow.state is FlowState.ACTIVE:
+                    # max(0.0, ...) without the builtin call; <= maps -0.0
+                    # to 0.0 exactly like max would.
+                    left = remaining - rate * elapsed
+                    flow.remaining_bytes = 0.0 if left <= 0.0 else left
         self._now = max(self._now, time)
-
-    def _peek_at_most(self, horizon: float) -> bool:
-        """Is the next queued event within ``horizon``?"""
-        next_time = self._queue.peek_time()
-        return next_time is not None and next_time <= horizon
 
     def _handle(self, event: Event) -> bool:
         """Apply one event; returns True if the active flow set changed."""
@@ -376,9 +404,11 @@ class CoflowSimulation:
             and interval > 0
         ):
             # Clamp past the batch-draining window so an interval below
-            # float time resolution cannot re-enter its own batch.
+            # float time resolution cannot re-enter its own batch.  Four
+            # ticks keeps the event outside the horizon *and* outside the
+            # timecmp tolerance has_event_within grants around it.
             self._queue.push(
-                self._now + max(interval, 2.0 * self._time_tick()),
+                self._now + max(interval, 4.0 * self._time_tick()),
                 EventKind.SCHEDULER_UPDATE,
             )
         injector = self.fault_injector
@@ -394,7 +424,7 @@ class CoflowSimulation:
                 return False if changed is None else bool(changed)
             if disposition == HR_DELAY:
                 self._queue.push(
-                    self._now + max(delay, 2.0 * self._time_tick()),
+                    self._now + max(delay, 4.0 * self._time_tick()),
                     EventKind.SCHEDULER_UPDATE,
                     payload=_HR_DELAYED_SYNC,
                 )
@@ -445,8 +475,16 @@ class CoflowSimulation:
             for link_id in newly:
                 self._set_link_capacity(link_id, 0.0)
             if newly:
+                # The router shares the injector's live downed-link set;
+                # its per-generation route caches must be dropped by hand.
+                self.router.invalidate_routes()
                 self._reroute_after_outage()
                 changed = True  # capacity changed even if no flow moved
+                if self._debug:
+                    _LOG.debug(
+                        "t=%.6f fault downed %d links (%d total down)",
+                        self._now, len(newly), len(injector.downed_links),
+                    )
         elif action.kind == FaultKind.HOST_DOWN:
             newly = injector.hosts_down(action.hosts, action.policy)
             stats.host_crashes += len(newly)
@@ -475,7 +513,16 @@ class CoflowSimulation:
             for link_id in restored:
                 self._set_link_capacity(link_id, self._nominal_caps[link_id])
             if restored:
+                # Repairs mutate the shared downed-link set too: without
+                # this, cached alive-route lists would keep flows off
+                # their pre-fault paths after the fabric heals.
+                self.router.invalidate_routes()
                 changed = True
+                if self._debug:
+                    _LOG.debug(
+                        "t=%.6f repair restored %d links (%d still down)",
+                        self._now, len(restored), len(injector.downed_links),
+                    )
         elif action.kind == FaultKind.HOST_UP:
             recovered = injector.hosts_up(action.hosts)
             if recovered:
@@ -688,9 +735,10 @@ def simulate(
     until: Optional[float] = None,
     use_engine: bool = True,
     faults: Optional[FaultProfile] = None,
+    event_queue: str = "heap",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`CoflowSimulation` and run it."""
     return CoflowSimulation(
         topology, scheduler, jobs, router=router, use_engine=use_engine,
-        faults=faults,
+        faults=faults, event_queue=event_queue,
     ).run(until=until)

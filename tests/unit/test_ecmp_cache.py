@@ -1,0 +1,170 @@
+"""ECMP route-decision cache: hits, invalidation, and repair re-landing.
+
+The router memoizes (a) the immutable perfect-fabric route choice per
+``(src, dst, selector mod choices)`` and (b) the per-pair alive-candidate
+lists, which are valid only for one link-state generation.  Because the
+downed-link set is shared live with the fault injector, the runtime must
+call :meth:`EcmpRouter.invalidate_routes` on every fault *and* every
+repair — this suite locks in both the caching and the invalidation
+contract, including end-to-end under a chaos timeline.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.flow import Flow
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.faults import FaultProfile, LinkFault, derive_fault_seed
+from repro.simulator.routing.ecmp import EcmpRouter
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.fattree import FatTreeTopology
+
+
+def _flow(flow_id, src, dst):
+    return Flow(flow_id=flow_id, coflow_id=1, src=src, dst=dst, size_bytes=100)
+
+
+class _CountingTopology:
+    """Wraps a topology, counting route/num_route_choices calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.route_calls = 0
+        self.choices_calls = 0
+
+    def route(self, src, dst, selector):
+        self.route_calls += 1
+        return self._inner.route(src, dst, selector)
+
+    def num_route_choices(self, src, dst):
+        self.choices_calls += 1
+        return self._inner.num_route_choices(src, dst)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestPerfectFabricMemo:
+    def test_repeat_decisions_served_from_cache(self):
+        counting = _CountingTopology(FatTreeTopology(k=4))
+        router = EcmpRouter(counting)
+        flow = _flow(1, 0, 9)
+        first = router.route_flow(flow)
+        calls_after_first = counting.route_calls
+        assert router.route_flow(flow) == first
+        assert router.route_flow(flow) == first
+        assert counting.route_calls == calls_after_first
+        # num_route_choices is memoized per pair as well.
+        assert counting.choices_calls == 1
+
+    def test_distinct_selectors_get_distinct_cache_rows(self):
+        topology = FatTreeTopology(k=4)
+        cached = EcmpRouter(topology)
+        plain = EcmpRouter(topology)
+        # Inter-pod pairs have k^2/4 = 4 candidates; enough flows cover
+        # several selector classes and must match an uncached router.
+        for flow_id in range(40):
+            flow = _flow(flow_id, 0, 9)
+            assert cached.route_flow(flow) == plain.route_flow(flow)
+
+    def test_memo_survives_fault_generations(self):
+        """Static topology routes never expire: after a full fault/repair
+        cycle, the perfect-fabric fast path may reuse the old memo."""
+        counting = _CountingTopology(FatTreeTopology(k=4))
+        router = EcmpRouter(counting)
+        flow = _flow(3, 0, 9)
+        original = router.route_flow(flow)
+        calls = counting.route_calls
+        downed = set()
+        router.set_downed_links(downed)
+        downed.add(original[1])
+        router.invalidate_routes()
+        assert router.route_flow(flow) != original
+        downed.clear()
+        router.set_downed_links(None)
+        calls_before_final = counting.route_calls
+        assert router.route_flow(flow) == original
+        # The final decision came from the memo, not a fresh computation.
+        assert counting.route_calls == calls_before_final
+
+
+class TestInvalidation:
+    def test_set_downed_links_bumps_generation(self):
+        router = EcmpRouter(FatTreeTopology(k=4))
+        generation = router.links_generation
+        router.set_downed_links(set())
+        assert router.links_generation == generation + 1
+
+    def test_stale_alive_cache_without_invalidate(self):
+        """The live downed-link set mutates invisibly: the alive cache
+        *must* be stale until invalidate_routes is called.  This pins the
+        contract the runtime relies on (and would silently break if the
+        cache ever 'helpfully' re-checked the set itself)."""
+        router = EcmpRouter(FatTreeTopology(k=4))
+        downed = set()
+        router.set_downed_links(downed)
+        flow = _flow(5, 0, 9)
+        before = router.alive_routes(flow.src, flow.dst)
+        downed.add(before[0][1])  # mutate the shared set, no invalidate
+        assert router.alive_routes(flow.src, flow.dst) == before  # stale
+        router.invalidate_routes()
+        refreshed = router.alive_routes(flow.src, flow.dst)
+        assert refreshed != before
+        assert all(before[0][1] not in route for route in refreshed)
+
+    def test_withdraw_and_rehash_round_trip(self):
+        """Fault -> reroute -> repair -> original hash landing restored."""
+        router = EcmpRouter(FatTreeTopology(k=4))
+        downed = set()
+        router.set_downed_links(downed)
+        flow = _flow(7, 0, 9)
+        original = router.route_flow(flow)
+        # Down a middle link of the chosen path (never the host uplink).
+        downed.add(original[1])
+        router.invalidate_routes()
+        rerouted = router.route_flow(flow)
+        assert original[1] not in rerouted
+        # Repair: the downed set empties; after invalidation the flow
+        # must land exactly where it did before the fault.
+        downed.clear()
+        router.invalidate_routes()
+        assert router.route_flow(flow) == original
+
+
+class TestChaosEndToEnd:
+    def test_runtime_invalidates_on_fault_and_repair(self):
+        """Under a scheduled link flap the runtime must bump the router
+        generation at least twice (the fault and the repair), and the
+        run must complete — proving no stale route kept a flow parked."""
+        topology = FatTreeTopology(k=4)
+        from repro.experiments.common import ScenarioConfig, build_jobs
+
+        config = ScenarioConfig(
+            name="ecmp-cache", structure="fb-tao", num_jobs=6,
+            fattree_k=4, seed=13,
+        )
+        jobs = build_jobs(config, topology.num_hosts)
+        cable = next(
+            link for link in topology.links if link.src_node.startswith("h")
+        )
+        profile = FaultProfile(
+            name="one-flap",
+            specs=(
+                LinkFault(
+                    src_node=cable.src_node, dst_node=cable.dst_node,
+                    at=0.001, duration=0.01,
+                ),
+            ),
+            seed=derive_fault_seed(5, "one-flap"),
+        )
+        router = EcmpRouter(topology)
+        generation_before = router.links_generation
+        result = simulate(
+            topology, make_scheduler("gurita"), jobs,
+            router=router, faults=profile,
+        )
+        assert all(job.completion_time() is not None for job in result.jobs)
+        assert result.fault_stats is not None
+        assert result.fault_stats.link_down_events > 0
+        assert result.fault_stats.repairs_applied > 0
+        # set_downed_links (wiring) + the fault + the repair >= 3 bumps.
+        assert router.links_generation >= generation_before + 3

@@ -1,0 +1,176 @@
+"""Event-queue variants: bucket/heap parity and timecmp-consistent draining.
+
+Two regressions are locked in here:
+
+* the batch-horizon test (``has_event_within``) applies the same float
+  time tolerance as the push-side watermark guard, so a same-instant
+  batch straddling the watermark can never be split into two batches
+  (each would pay a redundant reallocation);
+* :class:`BucketEventQueue` implements exactly the heap queue's
+  ``(time, kind, seq)`` total order, including pushes landing in a
+  bucket that is already being drained.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import (
+    EVENT_QUEUE_VARIANTS,
+    BucketEventQueue,
+    EventKind,
+    EventQueue,
+    make_event_queue,
+)
+from repro.simulator.timecmp import time_resolution
+
+ALL_VARIANTS = list(EVENT_QUEUE_VARIANTS)
+
+
+class TestFactory:
+    def test_heap_is_default(self):
+        assert isinstance(make_event_queue(), EventQueue)
+
+    def test_bucket_variant(self):
+        assert isinstance(make_event_queue("bucket"), BucketEventQueue)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(SimulationError, match="unknown event queue"):
+            make_event_queue("fibonacci")
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+class TestSharedSemantics:
+    def test_push_pop_orders_by_time_kind_seq(self, variant):
+        queue = make_event_queue(variant)
+        queue.push(2.0, EventKind.FLOW_COMPLETION)
+        queue.push(1.0, EventKind.SCHEDULER_UPDATE)
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        popped = [(e.time, e.kind, e.seq) for e in (queue.pop() for _ in range(4))]
+        assert popped == sorted(popped)
+        assert popped[0][1] is EventKind.JOB_ARRIVAL
+
+    def test_watermark_guard(self, variant):
+        queue = make_event_queue(variant)
+        queue.push(5.0, EventKind.JOB_ARRIVAL)
+        queue.pop()
+        assert queue.watermark == 5.0
+        queue.push(5.0, EventKind.SCHEDULER_UPDATE)  # same instant: legal
+        with pytest.raises(SimulationError, match="behind the pop watermark"):
+            queue.push(4.0, EventKind.FLOW_COMPLETION)
+
+    def test_negative_time_rejected(self, variant):
+        queue = make_event_queue(variant)
+        with pytest.raises(SimulationError, match="negative time"):
+            queue.push(-0.5, EventKind.JOB_ARRIVAL)
+
+    def test_pop_empty_raises(self, variant):
+        queue = make_event_queue(variant)
+        with pytest.raises(SimulationError, match="empty event queue"):
+            queue.pop()
+
+    def test_len_and_bool(self, variant):
+        queue = make_event_queue(variant)
+        assert not queue and len(queue) == 0
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        assert queue and len(queue) == 1
+        queue.pop()
+        assert not queue
+
+    def test_has_event_within_empty(self, variant):
+        queue = make_event_queue(variant)
+        assert not queue.has_event_within(math.inf)
+
+    def test_has_event_within_plain_cases(self, variant):
+        queue = make_event_queue(variant)
+        queue.push(10.0, EventKind.JOB_ARRIVAL)
+        assert queue.has_event_within(10.0)
+        assert queue.has_event_within(11.0)
+        assert not queue.has_event_within(9.0)
+
+    def test_same_instant_batch_straddling_watermark_not_split(self, variant):
+        """The S2 regression: push tolerates float-resolution scheduling
+        around the watermark, so the drain horizon must tolerate the same
+        band — a raw ``<=`` here used to split the batch in two."""
+        batch_time = 1000.0
+        tick = time_resolution(batch_time)
+        queue = make_event_queue(variant)
+        queue.push(batch_time, EventKind.JOB_ARRIVAL)
+        queue.pop()  # watermark = batch_time; runtime horizon below
+        horizon = batch_time + tick
+        # An event one resolution step past the horizon still denotes the
+        # same simulation instant (push would equally have accepted it one
+        # step *behind* the watermark).
+        queue.push(batch_time + 2.0 * tick, EventKind.FLOW_COMPLETION)
+        assert queue.has_event_within(horizon)
+
+    def test_event_beyond_resolution_stays_out_of_batch(self, variant):
+        batch_time = 1000.0
+        tick = time_resolution(batch_time)
+        queue = make_event_queue(variant)
+        queue.push(batch_time + 10.0 * tick, EventKind.FLOW_COMPLETION)
+        assert not queue.has_event_within(batch_time + tick)
+
+
+class TestBucketHeapParity:
+    def _interleaving(self):
+        # Deterministic pseudo-random times with heavy duplication: the
+        # bucket queue's raison d'etre is exactly-equal timestamps.
+        state = 12345
+        times = []
+        for _ in range(300):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            times.append(float(state % 7))
+        kinds = [EventKind(state_i % 5) for state_i in range(300)]
+        return list(zip(times, kinds))
+
+    def test_identical_pop_sequence(self):
+        heap = make_event_queue("heap")
+        bucket = make_event_queue("bucket")
+        for time, kind in self._interleaving():
+            heap.push(time, kind, payload=("p", time))
+            bucket.push(time, kind, payload=("p", time))
+        out_heap = [
+            (e.time, e.kind, e.seq, e.payload)
+            for e in (heap.pop() for _ in range(len(heap)))
+        ]
+        out_bucket = [
+            (e.time, e.kind, e.seq, e.payload)
+            for e in (bucket.pop() for _ in range(len(bucket)))
+        ]
+        assert out_heap == out_bucket
+
+    def test_push_into_draining_bucket(self):
+        """A push landing in the bucket currently being drained must slot
+        into (kind, seq) order among the *remaining* rows — exactly what
+        the heap does for an equal-timestamp push mid-batch."""
+        heap = make_event_queue("heap")
+        bucket = make_event_queue("bucket")
+        for queue in (heap, bucket):
+            queue.push(3.0, EventKind.SCHEDULER_UPDATE)
+            queue.push(3.0, EventKind.FAULT)
+            queue.push(3.0, EventKind.REPAIR)
+            first = queue.pop()
+            assert first.kind is EventKind.SCHEDULER_UPDATE
+            # Arrives mid-drain with a kind ahead of the remaining rows.
+            queue.push(3.0, EventKind.JOB_ARRIVAL)
+        seq_heap = [heap.pop().kind for _ in range(len(heap))]
+        seq_bucket = [bucket.pop().kind for _ in range(len(bucket))]
+        assert seq_heap == seq_bucket
+        assert seq_heap[0] is EventKind.JOB_ARRIVAL
+
+    def test_bucket_cleanup_after_drain(self):
+        queue = make_event_queue("bucket")
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        queue.push(1.0, EventKind.JOB_ARRIVAL)
+        queue.push(2.0, EventKind.JOB_ARRIVAL)
+        queue.pop()
+        queue.pop()
+        assert queue.peek_time() == 2.0
+        queue.pop()
+        assert queue.peek_time() is None
+        assert len(queue) == 0
