@@ -4,10 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint deep-lint deep-baseline typecheck ruff test test-fast chaos-smoke bench bench-check all
+.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline typecheck ruff test test-fast chaos-smoke bench bench-check all
 
-## Per-file static analysis (SIM001-SIM006).
+## Everything static in one command: all three simlint layers (per-file
+## SIM001-SIM006, whole-program --deep SIM101-SIM106, hot-closure --perf
+## SIM201-SIM207), each against its own committed baseline, plus ruff
+## and mypy (the latter two need the dev extra).
 lint:
+	$(PYTHON) -m tools.simlint --deep src \
+		--baseline tools/simlint/deep_baseline.json
+	$(PYTHON) -m tools.simlint --perf src \
+		--baseline tools/simlint/perf_baseline.json
+	$(PYTHON) -m ruff check src tools tests
+	$(PYTHON) -m mypy --strict -p repro.simulator -p repro.schedulers \
+		-p repro.experiments -p repro.metrics
+
+## Per-file static analysis only (SIM001-SIM006).
+file-lint:
 	$(PYTHON) -m tools.simlint src
 
 ## Whole-program determinism taint + worker purity (SIM101-SIM106),
@@ -20,6 +33,17 @@ deep-lint:
 ## diff: every entry is a known, tolerated finding.
 deep-baseline:
 	$(PYTHON) -m tools.simlint --deep src --write-baseline tools/simlint/deep_baseline.json
+
+## Hot-closure performance rules (SIM201-SIM207) over the registry in
+## tools/simlint/hotpaths.py, against the committed perf baseline.
+perf-lint:
+	$(PYTHON) -m tools.simlint --perf src --baseline tools/simlint/perf_baseline.json
+
+## Refresh the perf baseline after an intentional change.  Prefer an
+## in-place pragma (ignore[SIM2xx] / hot-ok[reason]) with a reason;
+## the committed baseline stays empty by policy.
+perf-baseline:
+	$(PYTHON) -m tools.simlint --perf src --write-baseline tools/simlint/perf_baseline.json
 
 ## mypy --strict over the strict-clean packages (needs the dev extra).
 typecheck:
@@ -54,4 +78,4 @@ chaos-smoke:
 		--jobs 10 --fattree-k 4 --profiles link-flap,hr-loss \
 		--schedulers pfs,gurita
 
-all: lint deep-lint test
+all: file-lint deep-lint perf-lint test

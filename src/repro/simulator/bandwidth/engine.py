@@ -41,6 +41,7 @@ from repro.simulator.bandwidth.maxmin import (
 from repro.simulator.bandwidth.request import AllocationMode, AllocationRequest
 from repro.simulator.bandwidth.spq import allocate_spq_memberships
 from repro.simulator.bandwidth.wrr import allocate_wrr_memberships
+from repro.simulator.hotpath import hot_path
 
 
 @dataclass
@@ -124,6 +125,7 @@ class AllocationState:
     # ------------------------------------------------------------------
     # Structural deltas (fed by the runtime as events are applied)
     # ------------------------------------------------------------------
+    @hot_path
     def add_flow(self, flow_id: int, route: Route) -> None:
         """A flow became active (coflow released)."""
         self.all_flows.add(flow_id, route)
@@ -138,6 +140,7 @@ class AllocationState:
         self._structure_dirty = True
         self.stats.delta_updates += 1
 
+    @hot_path
     def remove_flow(self, flow_id: int) -> None:
         """A flow finished (all bytes delivered)."""
         self.all_flows.remove(flow_id)
@@ -147,6 +150,7 @@ class AllocationState:
         self._structure_dirty = True
         self.stats.delta_updates += 1
 
+    @hot_path
     def update_route(self, flow_id: int, route: Route) -> None:
         """A live flow moved to a new route (fault-driven reroute).
 
@@ -164,6 +168,7 @@ class AllocationState:
         self._structure_dirty = True
         self.stats.delta_updates += 1
 
+    @hot_path
     def set_capacity(self, link_id: int, capacity: float) -> None:
         """Revoke or restore one link's capacity (fault injection).
 
@@ -191,6 +196,7 @@ class AllocationState:
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
+    @hot_path
     def allocate(
         self,
         request: AllocationRequest,

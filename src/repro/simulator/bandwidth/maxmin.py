@@ -46,6 +46,8 @@ from typing import Dict, List, Mapping, Sequence, Tuple, Union
 import numpy as np
 import numpy.typing as npt
 
+from repro.simulator.hotpath import hot_path
+
 _EPSILON = 1e-9
 
 #: Flow counts below which the vectorised round is never worth trying
@@ -213,7 +215,13 @@ class LinkMembership:
         self._csr = None
         for link_id in route:
             self.counts[link_id] += 1
-            self.link_members.setdefault(link_id, {})[flow_id] = None
+            members = self.link_members.get(link_id)
+            if members is None:
+                # setdefault(link_id, {}) paid for an empty dict on every
+                # hop; this allocates only when a link gains its first
+                # member.
+                members = self.link_members[link_id] = {}  # simlint: ignore[SIM202] (first-member only)
+            members[flow_id] = None
 
     def remove(self, flow_id: int) -> None:
         route = self.routes.pop(flow_id)
@@ -246,6 +254,7 @@ class LinkMembership:
         return flow_id in self.routes
 
 
+@hot_path
 def water_fill_membership(
     membership: LinkMembership,
     residual: npt.NDArray[np.float64],
@@ -272,6 +281,7 @@ def water_fill_membership(
     return rates
 
 
+@hot_path
 def _water_fill_scalar(
     membership: LinkMembership,
     res: npt.NDArray[np.float64],
@@ -327,7 +337,7 @@ def _water_fill_scalar(
         # link's member list is scanned at most once per fill — skipping
         # already-frozen members with a dict check beats maintaining
         # shrunken member copies.
-        newly_frozen: List[int] = []
+        newly_frozen: List[int] = []  # simlint: ignore[SIM202] (per-round scratch, bounded by flows frozen this round)
         for link_id in bottleneck_links:
             members = link_members.get(link_id)
             if members:
@@ -363,6 +373,7 @@ def _water_fill_scalar(
     res[:] = res_l
 
 
+@hot_path
 def _water_fill_vectorized(
     membership: LinkMembership,
     res: npt.NDArray[np.float64],
@@ -450,6 +461,7 @@ def _water_fill_vectorized(
         remaining -= num_frozen
 
 
+@hot_path
 def water_fill(
     flow_routes: Mapping[int, Route],
     residual: Union[npt.NDArray[np.float64], List[float]],

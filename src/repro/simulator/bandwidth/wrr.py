@@ -161,10 +161,10 @@ def allocate_wrr_memberships(
         # Unbuffered np.add.at applies the per-flow charges sequentially in
         # class_rates order — float-identical to the historical nested loop.
         route_arrays = members.route_arrays
-        arrs = [route_arrays[flow_id] for flow_id in class_rates]
+        arrs = [route_arrays[flow_id] for flow_id in class_rates]  # simlint: ignore[SIM202] (per-class batch setup, bounded by num_classes)
         if arrs:
             lengths = np.fromiter(
-                (a.size for a in arrs), dtype=np.intp, count=len(arrs)
+                (a.size for a in arrs), dtype=np.intp, count=len(arrs)  # simlint: ignore[SIM202] (per-class batch setup, bounded by num_classes)
             )
             charges = np.repeat(
                 np.fromiter(

@@ -41,6 +41,7 @@ from bisect import insort
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.simulator.hotpath import hot_path
 from repro.simulator.timecmp import time_before, time_resolution, times_close
 
 
@@ -121,6 +122,7 @@ class EventQueueBase:
         raise NotImplementedError
 
     # -- shared semantics ----------------------------------------------
+    @hot_path
     def push(
         self,
         time: float,
@@ -148,6 +150,7 @@ class EventQueueBase:
         self._size += 1
         return event
 
+    @hot_path
     def pop(self) -> Event:
         """Remove and return the earliest event; advances the watermark."""
         if self._size == 0:
@@ -158,6 +161,7 @@ class EventQueueBase:
             self._watermark = event.time
         return event
 
+    @hot_path
     def has_event_within(self, horizon: float) -> bool:
         """Is the next event at or before ``horizon``, within resolution?
 
@@ -191,12 +195,15 @@ class EventQueue(EventQueueBase):
         super().__init__()
         self._heap: List[Tuple[float, int, int, Event]] = []
 
+    @hot_path
     def _store(self, event: Event) -> None:
         heapq.heappush(self._heap, (event.time, int(event.kind), event.seq, event))
 
+    @hot_path
     def _take(self) -> Event:
         return heapq.heappop(self._heap)[3]
 
+    @hot_path
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest event, or None if empty."""
         if not self._heap:
@@ -228,6 +235,7 @@ class BucketEventQueue(EventQueueBase):
         self._buckets: Dict[float, List[Tuple[int, int, Event]]] = {}
         self._cursors: Dict[float, int] = {}
 
+    @hot_path
     def _store(self, event: Event) -> None:
         bucket = self._buckets.get(event.time)
         row = (int(event.kind), event.seq, event)
@@ -240,6 +248,7 @@ class BucketEventQueue(EventQueueBase):
             # before the cursor are already popped and stay untouched.
             insort(bucket, row, lo=self._cursors[event.time])
 
+    @hot_path
     def _take(self) -> Event:
         time = self._times[0]
         bucket = self._buckets[time]
@@ -254,6 +263,7 @@ class BucketEventQueue(EventQueueBase):
             self._cursors[time] = cursor
         return event
 
+    @hot_path
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest event, or None if empty."""
         if not self._times:

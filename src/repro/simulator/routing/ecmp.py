@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import NoPathError
 from repro.jobs.flow import Flow
+from repro.simulator.hotpath import hot_path
 from repro.simulator.topology.base import Topology
 
 #: Knuth multiplicative-hash constant (2^64 / golden ratio).
@@ -112,6 +113,7 @@ class EcmpRouter:
         """The currently downed link ids (empty on a perfect fabric)."""
         return frozenset(self._downed_links or ())
 
+    @hot_path
     def route_flow(self, flow: Flow) -> Tuple[int, ...]:
         """Pick the flow's route; deterministic per flow identity.
 
@@ -171,7 +173,9 @@ class EcmpRouter:
         alive: List[Tuple[int, ...]] = []
         for index in range(choices):
             route = self.topology.route(src, dst, index)
-            if not any(link_id in downed for link_id in route):
+            # set.isdisjoint short-circuits in C; the equivalent
+            # any()-genexp allocated a generator per candidate route.
+            if downed.isdisjoint(route):
                 alive.append(route)
         self._alive_cache[key] = alive
         return alive
@@ -181,4 +185,4 @@ class EcmpRouter:
         downed = self._downed_links
         if not downed:
             return True
-        return not any(link_id in downed for link_id in route)
+        return downed.isdisjoint(route)

@@ -45,6 +45,7 @@ from repro.simulator.faults import (
     FaultStats,
     default_fault_horizon,
 )
+from repro.simulator.hotpath import hot_path
 from repro.simulator.invariants import (
     InvariantChecker,
     InvariantReport,
@@ -292,6 +293,7 @@ class CoflowSimulation:
     # ------------------------------------------------------------------
     # Event processing
     # ------------------------------------------------------------------
+    @hot_path
     def _step(self) -> None:
         """Process every event at the next timestamp, then reallocate."""
         event = self._queue.pop()
@@ -337,6 +339,7 @@ class CoflowSimulation:
             if self.engine is not None:
                 self.engine.stats.epochs_skipped += 1
 
+    @hot_path
     def _advance_to(self, time: float) -> None:
         if time < self._now - 1e-9:
             raise SimulationError(
@@ -364,6 +367,7 @@ class CoflowSimulation:
                     flow.remaining_bytes = 0.0 if left <= 0.0 else left
         self._now = max(self._now, time)
 
+    @hot_path
     def _handle(self, event: Event) -> bool:
         """Apply one event; returns True if the active flow set changed."""
         if event.kind is EventKind.JOB_ARRIVAL:
@@ -379,9 +383,9 @@ class CoflowSimulation:
         if event.kind is EventKind.SCHEDULER_UPDATE:
             return self._handle_scheduler_update(event)
         if event.kind is EventKind.FAULT:
-            return self._apply_fault_action(event.payload)
+            return self._apply_fault_action(event.payload)  # simlint: hot-ok[fault path; runs only on FAULT events]
         if event.kind is EventKind.REPAIR:
-            return self._apply_repair_action(event.payload)
+            return self._apply_repair_action(event.payload)  # simlint: hot-ok[fault path; runs only on REPAIR events]
         raise SimulationError(f"unknown event kind {event.kind!r}")
 
     def _handle_scheduler_update(self, event: Event) -> bool:
@@ -444,14 +448,16 @@ class CoflowSimulation:
                 flow.src in injector.crashed_hosts
                 or flow.dst in injector.crashed_hosts
             ):
-                self._park_flow(flow, in_active=False)
+                self._park_flow(flow, in_active=False)  # simlint: hot-ok[fault path; parked flows leave the hot set]
                 continue
-            try:
+            # Per-flow fault isolation: one partitioned flow must park,
+            # not abort the release of its siblings.
+            try:  # simlint: ignore[SIM206] (fault isolation per flow)
                 flow.route = self.router.route_flow(flow)
             except NoPathError:
                 if injector is None:
                     raise  # a perfect fabric with no route is a topology bug
-                self._park_flow(flow, in_active=False)
+                self._park_flow(flow, in_active=False)  # simlint: hot-ok[fault path; parked flows leave the hot set]
                 continue
             self._active[flow.flow_id] = flow
             if self.engine is not None:
@@ -648,6 +654,7 @@ class CoflowSimulation:
         """
         return time_resolution(self._now)
 
+    @hot_path
     def _finish_ripe_flows(self) -> bool:
         """Complete every active flow whose volume has drained (or whose
         remaining transfer time is below float time resolution)."""
@@ -679,6 +686,7 @@ class CoflowSimulation:
         # zero-volume corner cases; they get caught on the next round.
         return True
 
+    @hot_path
     def _reallocate(self) -> None:
         """Ask the scheduler for priorities and recompute all rates."""
         self._epoch += 1

@@ -397,6 +397,7 @@ class TestWorkerPurity:
         assert found == []
 
     def test_default_run_unit_clean(self, tmp_path):
+        """No sibling ``execute_unit`` next to run_grid: nothing to audit."""
         found = deep_findings(
             tmp_path,
             {
@@ -406,6 +407,65 @@ class TestWorkerPurity:
                     def fan_out(units):
                         return run_grid(units, parallel=4)
                 """
+            },
+        )
+        assert found == []
+
+    def test_default_worker_impure_sibling_fires(self, tmp_path):
+        """run_unit-less fan-outs audit run_grid's sibling execute_unit.
+
+        This is the experiments/chaos.py::run_chaos shape: the call site
+        never names a worker, so the purity audit must chase the default
+        one through the module that defines run_grid.
+        """
+        found = deep_findings(
+            tmp_path,
+            {
+                "grid": """
+                    _calls = 0
+
+                    def execute_unit(u):
+                        global _calls
+                        _calls += 1
+                        return u
+
+                    def run_grid(units, parallel=1, cache_dir=None,
+                                 cache=None, retries=1, run_unit=None):
+                        return units
+                """,
+                "bad": """
+                    from pkg.grid import run_grid
+
+                    def fan_out(units):
+                        return run_grid(units, parallel=4)
+                """,
+            },
+        )
+        assert codes(found) == ["SIM106"]
+        assert found[0].path.endswith("bad.py")
+        assert "execute_unit" in found[0].message
+        assert "_calls" in found[0].message
+
+    def test_default_worker_pure_sibling_clean(self, tmp_path):
+        found = deep_findings(
+            tmp_path,
+            {
+                "grid": """
+                    SCALE = 2.0
+
+                    def execute_unit(u):
+                        return u * SCALE
+
+                    def run_grid(units, parallel=1, cache_dir=None,
+                                 cache=None, retries=1, run_unit=None):
+                        return units
+                """,
+                "good": """
+                    from pkg.grid import run_grid
+
+                    def fan_out(units):
+                        return run_grid(units, parallel=4)
+                """,
             },
         )
         assert found == []

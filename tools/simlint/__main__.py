@@ -5,9 +5,12 @@ parse error.
 
 ``--deep`` adds the whole-program SIM101-SIM106 analysis (cross-module
 taint tracking + worker purity) on top of the per-file rules;
+``--perf`` adds the hot-closure SIM201-SIM207 performance rules driven
+by the hot-path registry (``tools/simlint/hotpaths.py``);
 ``--baseline`` subtracts a committed JSON baseline so CI fails only on
 *new* findings or on *stale* entries (baseline drift);
-``--write-baseline`` refreshes that snapshot.
+``--write-baseline`` refreshes that snapshot.  All requested layers run
+in one pass and report one merged, (path, line, rule)-sorted stream.
 """
 
 from __future__ import annotations
@@ -27,18 +30,26 @@ from tools.simlint.baseline import (
 )
 from tools.simlint.dataflow import DEEP_RULES, DEEP_RULES_BY_CODE
 from tools.simlint.findings import Finding
+from tools.simlint.perfrules import (
+    DEFAULT_PERF_BASELINE_PATH,
+    PERF_RULES,
+    PERF_RULES_BY_CODE,
+)
 from tools.simlint.rules import ALL_RULES, RULES_BY_CODE
 from tools.simlint.runner import (
     FINDING_ORDER,
     LintReport,
     SimlintUsageError,
-    lint_paths,
-    lint_paths_deep,
+    lint_paths_layers,
 )
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
+
+#: Sentinel for ``--baseline`` / ``--write-baseline`` with no FILE: the
+#: default file depends on the layers in play (deep vs perf-only).
+_AUTO_BASELINE = "__auto__"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,20 +76,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "run the hot-closure performance rules (SIM201-SIM207: "
+            "logging, allocation, numpy scalar access, __slots__, "
+            "attribute chains, control indirection, closure escapes) "
+            "driven by the registry in tools/simlint/hotpaths.py"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         nargs="?",
-        const=DEFAULT_BASELINE_PATH,
+        const=_AUTO_BASELINE,
         metavar="FILE",
         help=(
             "subtract a committed JSON baseline; exit 1 on new findings "
             "OR stale entries (drift). With no FILE, uses "
-            f"{DEFAULT_BASELINE_PATH}"
+            f"{DEFAULT_BASELINE_PATH} ({DEFAULT_PERF_BASELINE_PATH} "
+            "under --perf without --deep)"
         ),
     )
     parser.add_argument(
         "--write-baseline",
         nargs="?",
-        const=DEFAULT_BASELINE_PATH,
+        const=_AUTO_BASELINE,
         metavar="FILE",
         help="write the current findings as the new baseline and exit 0",
     )
@@ -110,12 +132,15 @@ def _split_codes(raw: Optional[str]) -> List[str]:
 def _filtered_report(
     paths: Sequence[str],
     deep: bool,
+    perf: bool,
     select: List[str],
     ignore: List[str],
 ) -> LintReport:
     known = set(RULES_BY_CODE)
     if deep:
         known |= set(DEEP_RULES_BY_CODE)
+    if perf:
+        known |= set(PERF_RULES_BY_CODE)
     for code in select + ignore:
         if code not in known:
             raise SimlintUsageError(
@@ -126,7 +151,7 @@ def _filtered_report(
         for rule in ALL_RULES
         if (not select or rule.code in select) and rule.code not in ignore
     )
-    report = lint_paths_deep(paths, rules=rules) if deep else lint_paths(paths, rules=rules)
+    report = lint_paths_layers(paths, rules=rules, deep=deep, perf=perf)
     if select or ignore:
         report.findings = [
             f
@@ -171,6 +196,15 @@ def _render_baseline_outcome(
     return "\n".join(lines)
 
 
+def _resolve_baseline_path(raw: Optional[str], deep: bool, perf: bool) -> Optional[str]:
+    """Pick the default baseline file for the layers in play."""
+    if raw != _AUTO_BASELINE:
+        return raw
+    if perf and not deep:
+        return DEFAULT_PERF_BASELINE_PATH
+    return DEFAULT_BASELINE_PATH
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -181,12 +215,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         for deep_rule in DEEP_RULES:
             print(f"{deep_rule.code}  [whole-program, --deep]")
             print(f"    {deep_rule.description}")
+        for perf_rule in PERF_RULES:
+            print(f"{perf_rule.code}  [hot closure, --perf]")
+            print(f"    {perf_rule.description}")
         return EXIT_CLEAN
+
+    baseline_path = _resolve_baseline_path(args.baseline, args.deep, args.perf)
+    write_baseline_path = _resolve_baseline_path(
+        args.write_baseline, args.deep, args.perf
+    )
 
     try:
         report = _filtered_report(
             args.paths,
             deep=args.deep,
+            perf=args.perf,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
         )
@@ -195,9 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_USAGE
     report.findings.sort(key=FINDING_ORDER)
 
-    if args.write_baseline:
+    if write_baseline_path:
         path = save_baseline(
-            baseline_from_findings(report.findings), args.write_baseline
+            baseline_from_findings(report.findings), write_baseline_path
         )
         entries = baseline_from_findings(report.findings)["entries"]
         print(
@@ -206,9 +249,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_CLEAN
 
-    if args.baseline:
+    if baseline_path:
         try:
-            document = load_baseline(args.baseline)
+            document = load_baseline(baseline_path)
         except BaselineError as exc:
             print(f"simlint: error: {exc}", file=sys.stderr)
             return EXIT_USAGE

@@ -340,13 +340,49 @@ def check_worker_purity(project: Project) -> List[Finding]:
                 continue
             worker = _run_unit_argument(node)
             if worker is None:
-                continue  # default execute_unit: audited separately below
+                # No explicit run_unit: the fan-out uses run_grid's own
+                # default worker.  Audit the sibling ``execute_unit`` in
+                # the module that defines the resolved run_grid, so call
+                # sites like experiments/chaos.py::run_chaos get the same
+                # purity coverage as explicit-worker calls.
+                findings.extend(
+                    _check_default_worker(project, mod.path, node, resolved, mutated_globals)
+                )
+                continue
             findings.extend(
                 _check_worker_callable(
                     project, mod.path, node, worker, mutated_globals, cls=cls
                 )
             )
     return findings
+
+
+def _check_default_worker(
+    project: Project,
+    path: str,
+    call: ast.Call,
+    resolved: str,
+    mutated_globals: Set[Tuple[str, str]],
+) -> List[Finding]:
+    """Purity-audit the default worker of a ``run_unit``-less fan-out.
+
+    ``run_grid``'s default worker is its module-level sibling
+    ``execute_unit``; resolve it through the resolved ``run_grid`` target
+    and run the transitive purity audit anchored at the call site.  When
+    the sibling is not in the analyzed tree (partial lints, fixture
+    projects without one) there is nothing to audit — stay silent rather
+    than inventing an unresolvable-worker finding.
+    """
+    grid_fn = project.function_for(resolved)
+    if grid_fn is None:
+        return []
+    grid_mod = project.module_for_function(grid_fn)
+    default = project.function_for(f"{grid_mod.name}.execute_unit")
+    if default is None or default.cls is not None:
+        return []
+    return purity_violations(
+        project, default, mutated_globals, anchor=call, path=path
+    )
 
 
 def _run_unit_argument(node: ast.Call) -> Optional[ast.expr]:

@@ -6,10 +6,13 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from tools.simlint.findings import Finding, PragmaIndex
 from tools.simlint.rules import ALL_RULES, RULES_BY_CODE, LintContext, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.simlint.hotpaths import HotPathRegistry
 
 
 class SimlintUsageError(Exception):
@@ -102,12 +105,22 @@ def lint_source(
     ``path`` drives rule scoping (e.g. SIM001 only fires under
     ``repro/simulator``), so fixture tests pass a representative fake path.
     """
-    normalized = path.replace("\\", "/")
-    report = LintReport(files_checked=1)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         raise SimlintUsageError(f"{path}: syntax error: {exc}") from exc
+    return _lint_parsed(source, tree, path, rules)
+
+
+def _lint_parsed(
+    source: str,
+    tree: ast.Module,
+    path: str,
+    rules: Sequence[Rule],
+) -> LintReport:
+    """Per-file rules over an already-parsed module (no re-parse)."""
+    normalized = path.replace("\\", "/")
+    report = LintReport(files_checked=1)
     pragmas = PragmaIndex(source)
     if pragmas.skip_file:
         return report
@@ -142,37 +155,73 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
+def lint_paths_layers(
+    paths: Sequence[str],
+    rules: Sequence[Rule] = ALL_RULES,
+    deep: bool = False,
+    perf: bool = False,
+    registry: Optional["HotPathRegistry"] = None,
+) -> LintReport:
+    """Run any combination of simlint's layers in one unified pass.
+
+    Every file is parsed exactly once: the per-file rules run on the
+    parsed tree, and when ``deep`` (SIM101-SIM106) or ``perf``
+    (SIM201-SIM207) is requested the same parsed modules are assembled
+    into one shared :class:`~tools.simlint.callgraph.Project` — not
+    re-read from disk per layer.  Findings from all layers land in one
+    stream sorted once by the canonical ``(path, line, rule, col)`` key,
+    so ``--json`` consumers and the baselines see a stable cross-layer
+    order.
+
+    ``registry`` overrides the shipped hot-path registry (fixture tests);
+    it is only consulted when ``perf`` is true.
+    """
+    from tools.simlint.callgraph import ModuleInfo, parse_module
+
+    report = LintReport()
+    modules: List[ModuleInfo] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        path = file_path.as_posix()
+        try:
+            mod = parse_module(file_path, source)
+        except SyntaxError as exc:
+            raise SimlintUsageError(f"{path}: syntax error: {exc}") from exc
+        modules.append(mod)
+        report.extend(_lint_parsed(source, mod.tree, path, rules))
+
+    if deep or perf:
+        from tools.simlint.callgraph import Project
+
+        project = Project(modules)
+        if deep:
+            from tools.simlint.dataflow import analyze_project
+
+            deep_report = analyze_project(project)
+            report.findings.extend(deep_report.findings)
+            report.suppressed += deep_report.suppressed
+        if perf:
+            from tools.simlint.perfrules import perf_lint_project
+
+            perf_report = perf_lint_project(project, registry=registry)
+            report.findings.extend(perf_report.findings)
+            report.suppressed += perf_report.suppressed
+
+    report.findings.sort(key=FINDING_ORDER)
+    return report
+
+
 def lint_paths(
     paths: Sequence[str],
     rules: Sequence[Rule] = ALL_RULES,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths``."""
-    report = LintReport()
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        report.extend(lint_source(source, path=file_path.as_posix(), rules=rules))
-    report.findings.sort(key=FINDING_ORDER)
-    return report
+    """Lint every ``.py`` file under ``paths`` (per-file rules only)."""
+    return lint_paths_layers(paths, rules=rules)
 
 
 def lint_paths_deep(
     paths: Sequence[str],
     rules: Sequence[Rule] = ALL_RULES,
 ) -> LintReport:
-    """The full static suite: per-file rules plus SIM101-SIM106.
-
-    Runs :func:`lint_paths` and the whole-program analyzer
-    (:mod:`tools.simlint.dataflow`) over the same tree and merges the
-    findings into one canonically-ordered report.
-    """
-    from tools.simlint.dataflow import deep_lint_paths
-
-    report = lint_paths(paths, rules=rules)
-    try:
-        deep = deep_lint_paths(paths)
-    except SyntaxError as exc:
-        raise SimlintUsageError(f"deep analysis: syntax error: {exc}") from exc
-    report.findings.extend(deep.findings)
-    report.suppressed += deep.suppressed
-    report.findings.sort(key=FINDING_ORDER)
-    return report
+    """Per-file rules plus the whole-program SIM101-SIM106 layer."""
+    return lint_paths_layers(paths, rules=rules, deep=True)
