@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline typecheck ruff test test-fast chaos-smoke bench bench-check all
+.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline typecheck ruff test test-fast coverage chaos-smoke bench bench-check gap gap-golden all
 
 ## Everything static in one command: all three simlint layers (per-file
 ## SIM001-SIM006, whole-program --deep SIM101-SIM106, hot-closure --perf
@@ -72,10 +72,29 @@ bench:
 bench-check:
 	$(PYTHON) benchmarks/perf_trajectory.py --check BENCH_6.json --workloads scal-k4
 
-## Strict-invariant chaos run (what the chaos-smoke CI job executes).
+## Strict-invariant chaos run (what the chaos-smoke CI job executes),
+## including the gap-harness comparators.
 chaos-smoke:
 	REPRO_INVARIANTS=strict timeout 60 $(PYTHON) -m repro chaos \
 		--jobs 10 --fattree-k 4 --profiles link-flap,hr-loss \
-		--schedulers pfs,gurita
+		--schedulers pfs,gurita,sg-dag,lp-order
+
+## What the gap-smoke CI job runs: replay the committed golden gap
+## artifact's harness parameters and fail on fingerprint divergence.
+gap:
+	$(PYTHON) -m repro gap --check GAP_GOLDEN.json --parallel 2
+
+## Re-capture the committed gap artifact after an intentional change
+## (a new scheduler, a tightened bound, a workload-generator change).
+## Review the mean-gap diff: every movement should be explainable.
+gap-golden:
+	$(PYTHON) -m repro gap --out GAP_GOLDEN.json
+
+## Line coverage over the scheduler and theory layers (needs the dev
+## extra; the coverage-gate CI job enforces the same threshold).
+coverage:
+	$(PYTHON) -m pytest tests/unit tests/property tests/integration -q \
+		--cov=repro.schedulers --cov=repro.theory \
+		--cov-report=term-missing --cov-fail-under=85
 
 all: file-lint deep-lint perf-lint test

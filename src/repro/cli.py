@@ -9,6 +9,8 @@ Examples::
     python -m repro trials --jobs 30 --seeds 1,2,3,4 --parallel 4
     python -m repro scenario --jobs 40 --fault-profile link-flap
     python -m repro chaos --jobs 30 --profiles link-flap,hr-loss --parallel 4
+    python -m repro gap --parallel 4 --out GAP_GOLDEN.json
+    python -m repro gap --check GAP_GOLDEN.json
     python -m repro trace --synthesize 200 --out /tmp/trace.txt
     python -m repro trace --stats /tmp/trace.txt
 
@@ -43,10 +45,16 @@ from repro.metrics.report import (
     format_improvement_row,
     format_jct_table,
 )
-from repro.metrics.serialize import comparison_to_dict, save_json
+from repro.metrics.serialize import comparison_to_dict, load_json, save_json
 from repro.schedulers.registry import available_schedulers
 from repro.simulator.faults import CANNED_PROFILES
 from repro.simulator.observability import fault_counters
+from repro.theory.gap import (
+    GAP_FAMILIES,
+    check_gap_golden,
+    golden_harness_report,
+    run_gap,
+)
 from repro.workloads.fbtrace import parse_trace, synthesize_trace, write_trace
 from repro.workloads.stats import format_trace_stats, trace_stats
 
@@ -114,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="pfs,baraat,stream,aalo,gurita",
         help="comma-separated policy names",
     )
+    trials.add_argument(
+        "--gaps", action="store_true",
+        help="also report each policy's mean optimality gap (JCT over the "
+        "combinatorial lower bound) across seeds",
+    )
     _add_engine_flags(trials)
 
     chaos = sub.add_parser(
@@ -151,6 +164,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names",
     )
     _add_engine_flags(chaos)
+
+    gap = sub.add_parser(
+        "gap", help="optimality-gap harness: JCT vs combinatorial lower bound"
+    )
+    gap.add_argument("--jobs", type=int, default=12)
+    gap.add_argument("--fattree-k", type=int, default=4)
+    gap.add_argument("--seed", type=int, default=42)
+    gap.add_argument(
+        "--schedulers", default="all",
+        help="comma-separated policy names ('all' = the full registry)",
+    )
+    gap.add_argument(
+        "--families",
+        default=",".join(name for name, *_ in GAP_FAMILIES),
+        help="comma-separated scenario families "
+        f"({', '.join(name for name, *_ in GAP_FAMILIES)})",
+    )
+    gap.add_argument(
+        "--out", help="write the golden-format gap artifact JSON here"
+    )
+    gap.add_argument(
+        "--check", metavar="GOLDEN",
+        help="re-run a committed golden artifact's harness parameters and "
+        "fail unless the gap fingerprint matches it",
+    )
+    _add_engine_flags(gap)
 
     trace = sub.add_parser("trace", help="trace tooling")
     trace.add_argument("--synthesize", type=int, metavar="N")
@@ -343,6 +382,10 @@ def cmd_trials(args: argparse.Namespace) -> int:
         print("improvement of gurita (mean ± std):")
         for name, stats in sorted(trial.improvement_stats().items()):
             print(f"  {name:>10}  {stats}")
+    if args.gaps:
+        print("mean optimality gap per policy (mean ± std, 1.00 = optimal):")
+        for name, stats in sorted(trial.gap_stats().items()):
+            print(f"  {name:>10}  {stats}")
     if trial.report is not None:
         print(_engine_summary(trial.report))
     return 0
@@ -393,6 +436,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gap(args: argparse.Namespace) -> int:
+    progress = _print_progress if args.parallel > 1 else None
+    if args.check:
+        golden = load_json(args.check)
+        report = golden_harness_report(
+            golden,
+            parallel=args.parallel,
+            cache_dir=args.cache_dir,
+            progress=progress,
+        )
+        report.validate()
+        print(report.format_table())
+        problems = check_gap_golden(report, golden)
+        if problems:
+            print(f"\ngap fingerprint diverged from {args.check}:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\ngap fingerprint matches {args.check}: {report.fingerprint()}")
+        if report.grid is not None:
+            print(_engine_summary(report.grid))
+        return 0
+    schedulers = (
+        None
+        if args.schedulers.strip() == "all"
+        else tuple(name.strip() for name in args.schedulers.split(","))
+    )
+    families = tuple(
+        name.strip() for name in args.families.split(",") if name.strip()
+    )
+    report = run_gap(
+        schedulers=schedulers,
+        num_jobs=args.jobs,
+        fattree_k=args.fattree_k,
+        seed=args.seed,
+        families=families,
+        parallel=args.parallel,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    report.validate()
+    print(report.format_table())
+    worst = report.worst_cell()
+    print(
+        f"\nworst cell: {worst.scheduler} on {worst.scenario} "
+        f"(mean {worst.mean_gap:.3f}x, max {worst.max_gap:.3f}x)"
+    )
+    print(f"fingerprint: {report.fingerprint()}")
+    if report.grid is not None:
+        print(_engine_summary(report.grid))
+    if args.out:
+        path = save_json(report.to_golden(), args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.stats:
         _machines, trace = parse_trace(args.stats)
@@ -423,6 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trials(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "gap":
+        return cmd_gap(args)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

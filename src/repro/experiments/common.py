@@ -22,6 +22,7 @@ from repro.simulator.runtime import SimulationResult, simulate
 from repro.simulator.topology.base import Topology
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.simulator.topology.fattree import FatTreeTopology
+from repro.simulator.topology.links import TEN_GBPS
 from repro.workloads.generator import synthesize_workload
 
 if TYPE_CHECKING:  # imported lazily inside build_fault_profile at runtime
@@ -50,6 +51,10 @@ class ScenarioConfig:
     fattree_k: int = 8
     #: host count for the big-switch fabric; 0 = a 16-host default
     num_hosts: int = 0
+    #: uniform link capacity in bytes/s; 0.0 = the topology's default
+    #: 10 Gb/s (the paper's switch speed) — the gap harness scales this
+    #: to check that optimality gaps are capacity-scale-invariant
+    link_capacity: float = 0.0
     arrival_mode: str = "uniform"
     seed: int = 42
     size_scale: float = 1.0
@@ -101,12 +106,55 @@ class ScenarioResult:
             if name != reference
         }
 
+    def mean_optimality_gaps(self) -> Dict[str, float]:
+        """Mean measured-JCT / lower-bound ratio per policy (>= 1.0).
+
+        The bound rate is the scenario topology's host NIC capacity; see
+        :mod:`repro.theory.lowerbound` for the bound definitions and
+        :mod:`repro.theory.gap` for the full harness built on this.
+        """
+        # Function-level import: repro.theory.gap imports this module, so
+        # a module-level import here would cycle through the package inits.
+        from repro.theory.lowerbound import mean_optimality_gap
+
+        link_rate = scenario_link_rate(self.config)
+        return {
+            name: mean_optimality_gap(result, link_rate)
+            for name, result in sorted(self.results.items())
+        }
+
+
+def scenario_link_rate(config: ScenarioConfig) -> float:
+    """The scenario topology's host NIC rate without building the fabric.
+
+    Both concrete fabrics are uniform-capacity, so the slowest host NIC
+    is exactly the configured ``link_capacity`` (10 Gb/s when unset);
+    ``tests/unit/test_topology.py`` pins this against
+    ``build_topology(config).host_link_capacity``.  Bound computations
+    over *replayed* results (grid payloads, cached cells) must use this
+    pure form: feeding a payload-derived config back into
+    ``build_topology`` would alias the simulator's own topology
+    construction in the determinism-taint analysis.
+    """
+    if config.link_capacity > 0.0:
+        return config.link_capacity
+    return TEN_GBPS
+
 
 def build_topology(config: ScenarioConfig) -> Topology:
     """The scenario's network substrate (deterministic in the config)."""
     if config.topology == "fattree":
+        if config.link_capacity > 0.0:
+            return FatTreeTopology(
+                k=config.fattree_k, link_capacity=config.link_capacity
+            )
         return FatTreeTopology(k=config.fattree_k)
     if config.topology == "bigswitch":
+        if config.link_capacity > 0.0:
+            return BigSwitchTopology(
+                num_hosts=config.num_hosts or 16,
+                link_capacity=config.link_capacity,
+            )
         return BigSwitchTopology(num_hosts=config.num_hosts or 16)
     raise ExperimentError(
         f"unknown topology {config.topology!r}; expected 'fattree' or "

@@ -88,6 +88,7 @@ _EXTENSION_FIELD_DEFAULTS: Dict[str, Any] = {
     "fault_profile": "",
     "fault_intensity": 1.0,
     "fault_seed": 0,
+    "link_capacity": 0.0,
 }
 
 

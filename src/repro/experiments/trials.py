@@ -73,6 +73,23 @@ class TrialResult:
             for name, values in per_scheduler.items()
         }
 
+    def gap_stats(self) -> Dict[str, TrialStats]:
+        """Mean ± std of each policy's mean optimality gap across seeds.
+
+        Unlike :meth:`improvement_stats` this is an absolute yardstick —
+        each seed's value is measured JCT over the combinatorial lower
+        bound (see :mod:`repro.theory.lowerbound`), so 1.00 means the
+        policy hit the physical floor on that draw of the trace.
+        """
+        per_scheduler: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            for name, gap in outcome.mean_optimality_gaps().items():
+                per_scheduler.setdefault(name, []).append(gap)
+        return {
+            name: TrialStats.from_values(values)
+            for name, values in per_scheduler.items()
+        }
+
 
 def run_trials(
     config: ScenarioConfig,

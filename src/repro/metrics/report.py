@@ -134,6 +134,37 @@ def format_fault_table(
     return "\n".join(lines)
 
 
+def format_gap_table(
+    mean_gaps: Mapping[str, Mapping[str, float]],
+    title: str = "mean JCT / lower bound (1.00 = optimal):",
+) -> str:
+    """An optimality-gap table: mean gap per scheduler per scenario.
+
+    ``mean_gaps`` maps scenario name -> {scheduler -> mean gap} (see
+    :meth:`repro.theory.gap.GapReport.mean_gaps`).  Columns are
+    schedulers, rows scenarios, mirroring the chaos degradation table.
+    """
+    schedulers: List[str] = sorted(
+        {name for row in mean_gaps.values() for name in row}
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "scenario            " + "".join(f"{name:>9s}" for name in schedulers)
+    )
+    for scenario in sorted(mean_gaps):
+        row = mean_gaps[scenario]
+        lines.append(
+            f"{scenario:<20s}"
+            + "".join(
+                f"{row[name]:8.3f}x" if name in row else "        -"
+                for name in schedulers
+            )
+        )
+    return "\n".join(lines)
+
+
 def format_bar_chart(
     values: Mapping[str, float],
     width: int = 40,

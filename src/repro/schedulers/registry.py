@@ -11,7 +11,9 @@ from repro.errors import SchedulerError
 from repro.schedulers.aalo import AaloScheduler
 from repro.schedulers.baraat import BaraatScheduler
 from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.depgraph import DependencyGraphScheduler
 from repro.schedulers.las import LasScheduler
+from repro.schedulers.lporder import LpOrderScheduler
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.schedulers.stream import StreamScheduler
 from repro.schedulers.tbs import StageBytesSjf, TotalBytesSjf
@@ -26,6 +28,8 @@ _FACTORIES: Dict[str, Callable[[], SchedulerPolicy]] = {
     "las": LasScheduler,
     "tbs-sjf": TotalBytesSjf,
     "stage-sjf": StageBytesSjf,
+    "sg-dag": DependencyGraphScheduler,
+    "lp-order": LpOrderScheduler,
     "gurita": lambda: GuritaScheduler(GuritaConfig()),
     "gurita+": lambda: GuritaPlusScheduler(GuritaConfig()),
 }

@@ -37,6 +37,26 @@ class Topology(abc.ABC):
     def num_links(self) -> int:
         return len(self.links)
 
+    @property
+    def host_link_capacity(self) -> float:
+        """The slowest host NIC (bytes/s) — the rate lower bounds assume.
+
+        Both concrete topologies name host nodes ``h<id>``; the slowest
+        directed link touching one is the tightest line rate any single
+        job's traffic can count on, which is exactly what
+        :mod:`repro.theory.lowerbound` divides by.
+        """
+        capacities = [
+            link.capacity
+            for link in self.links
+            if link.src_node.startswith("h") or link.dst_node.startswith("h")
+        ]
+        if not capacities:
+            from repro.errors import TopologyError
+
+            raise TopologyError("topology has no host-attached links")
+        return min(capacities)
+
     def validate_host(self, host: int) -> None:
         from repro.errors import TopologyError
 

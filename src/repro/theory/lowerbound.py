@@ -12,6 +12,13 @@ Two bounds are computed per job:
   job sends/receives through it; that volume over the line rate bounds the
   JCT from below (even with perfect pipelining this traffic shares one
   port).
+* **precedence-port bound** — the port bound, tightened with the stage
+  DAG: bytes a NIC moves for a coflow cannot start before the coflow's
+  *earliest start* (the heaviest chain of ancestor service bounds), so for
+  any threshold ``t`` the job needs at least ``t`` plus the drain time of
+  every byte whose coflow starts at or after ``t``.  The plain port bound
+  is the ``t = 0`` special case; on multi-stage jobs where late stages
+  revisit a loaded port the precedence term is strictly tighter.
 
 The benches report measured JCT against these bounds; a schedule close to
 the bound is close to optimal regardless of what any other policy does.
@@ -20,7 +27,7 @@ the bound is close to optimal regardless of what any other policy does.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.jobs.coflow import Coflow
 from repro.jobs.job import Job
@@ -76,8 +83,85 @@ def job_port_bound(job: Job, link_rate: float) -> float:
     return port_load / link_rate
 
 
+def coflow_earliest_starts(job: Job, link_rate: float) -> Dict[int, float]:
+    """Earliest possible start of each coflow, per the dependency DAG.
+
+    No schedule can start a coflow before every chain of its ancestors has
+    been served; the heaviest such chain of per-coflow service bounds is a
+    valid earliest-start time.  Leaves start at 0.
+    """
+    service = {
+        coflow.coflow_id: coflow_service_bound(coflow, link_rate)
+        for coflow in job.coflows
+    }
+    starts: Dict[int, float] = {}
+    for cid in job.dag.topological_order():
+        starts[cid] = max(
+            (starts[dep] + service[dep] for dep in job.dag.dependencies_of(cid)),
+            default=0.0,
+        )
+    return starts
+
+
+def job_precedence_port_bound(job: Job, link_rate: float) -> float:
+    """The port bound tightened with dependency earliest-start times.
+
+    For every NIC direction and every earliest-start threshold ``t``: all
+    bytes of coflows starting at or after ``t`` drain through that NIC no
+    earlier than ``t + bytes / link_rate``.  Maximising over thresholds
+    and ports dominates the plain :func:`job_port_bound` (its ``t = 0``
+    case) and, unlike :func:`job_critical_path_bound`, it charges a port
+    for *sibling* coflows that share it across concurrent branches.
+    """
+    if link_rate <= 0:
+        raise ValueError("link_rate must be positive")
+    starts = coflow_earliest_starts(job, link_rate)
+    #: (direction, host) -> [(earliest start, bytes)] per coflow using it
+    port_terms: Dict[Tuple[int, int], List[Tuple[float, float]]] = defaultdict(list)
+    for coflow in job.coflows:
+        start = starts[coflow.coflow_id]
+        out_bytes: Dict[int, float] = defaultdict(float)
+        in_bytes: Dict[int, float] = defaultdict(float)
+        for flow in coflow.flows:
+            out_bytes[flow.src] += flow.size_bytes
+            in_bytes[flow.dst] += flow.size_bytes
+        for host, volume in out_bytes.items():
+            port_terms[(0, host)].append((start, volume))
+        for host, volume in in_bytes.items():
+            port_terms[(1, host)].append((start, volume))
+    bound = 0.0
+    for terms in port_terms.values():
+        # Descending by start: the suffix load of each threshold is the
+        # running sum of everything starting no earlier than it.
+        terms.sort(reverse=True)
+        volume = 0.0
+        for start, term_bytes in terms:
+            volume += term_bytes
+            bound = max(bound, start + volume / link_rate)
+    return bound
+
+
 def job_lower_bound(job: Job, link_rate: float) -> float:
-    """The tighter of the critical-path and port bounds."""
+    """The tightest of the critical-path, port, and precedence-port bounds.
+
+    ``job_precedence_port_bound`` dominates ``job_port_bound`` by
+    construction; the plain port bound is kept in the max for clarity (and
+    as a guard should the precedence term ever be weakened).
+    """
+    return max(
+        job_critical_path_bound(job, link_rate),
+        job_port_bound(job, link_rate),
+        job_precedence_port_bound(job, link_rate),
+    )
+
+
+def job_single_stage_lower_bound(job: Job, link_rate: float) -> float:
+    """The historical bound: critical path + precedence-blind port load.
+
+    Kept so regressions can pin how much the precedence-aware port term
+    tightens (see ``tests/unit/test_lowerbound.py``); new code should use
+    :func:`job_lower_bound`.
+    """
     return max(
         job_critical_path_bound(job, link_rate),
         job_port_bound(job, link_rate),

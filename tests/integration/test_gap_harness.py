@@ -1,0 +1,164 @@
+"""Integration locks for the optimality-gap harness.
+
+Four guarantees, end to end on the real simulator:
+
+* **soundness** — the combinatorial lower bound never exceeds any
+  scheduler's measured JCT, in every scenario family including the
+  fault-injected one;
+* **engine parity** — a ``parallel=2`` harness run fingerprints
+  bit-identically to the serial run;
+* **scale invariance** — for byte-threshold policies the gap curve is
+  unchanged (to float noise) when every link's capacity doubles, because
+  both the measured JCT and the bound scale as ``1/rate``;
+* **pinned curves** — golden gap fingerprints for the figure-5/6-style
+  workloads, plus the committed ``GAP_GOLDEN.json`` artifact that the
+  ``gap-smoke`` CI job replays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import PAPER_SCHEDULERS, ScenarioConfig
+from repro.simulator.topology.links import TEN_GBPS
+from repro.theory.gap import (
+    GAP_FAMILIES,
+    check_gap_golden,
+    gap_scenarios,
+    golden_harness_report,
+    run_gap,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A reduced harness (half the golden job count) reused across tests.
+HARNESS_KW = dict(num_jobs=6, fattree_k=4, seed=7)
+
+#: Policies whose decisions depend only on byte counts / ranks, never on
+#: wall-clock intervals — the family for which capacity-scale invariance
+#: of the gap is exact.  stream/gurita/gurita+ schedule on time-based
+#: coordination rounds, so their gaps legitimately move with the rate.
+SCALE_FREE_SCHEDULERS = ("lp-order", "pfs", "sebf", "sg-dag", "tbs-sjf")
+
+#: Captured with the harness in this tree; any change to a scheduler
+#: decision, a bound term, or the workload generator shows up here.
+GOLDEN_FIGURE_FINGERPRINTS = {
+    "gapq-fbtao": "0b933d99a3ecb5333cce23e1f96c7d73",
+    "gapq-tpcds": "8b8f448955f2b8090f0375809d452508",
+}
+
+FIGURE_SCENARIOS = {
+    "gapq-fbtao": ScenarioConfig(
+        name="gapq-fbtao", structure="fb-tao", num_jobs=15, fattree_k=4, seed=7
+    ),
+    "gapq-tpcds": ScenarioConfig(
+        name="gapq-tpcds", structure="tpcds", num_jobs=15, fattree_k=4, seed=7,
+        arrival_mode="bursty",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_gap(**HARNESS_KW)
+
+
+class TestSoundness:
+    def test_bound_never_exceeds_jct_in_any_cell(self, serial_report):
+        serial_report.validate()
+        for scenario, row in serial_report.job_pairs.items():
+            for scheduler, pairs in row.items():
+                for job_id, (jct, bound) in pairs.items():
+                    assert bound <= jct * (1.0 + 1e-9), (
+                        f"{scenario}/{scheduler}: job {job_id} finished in "
+                        f"{jct} but is bounded below by {bound}"
+                    )
+
+    def test_coverage_meets_the_acceptance_floor(self, serial_report):
+        assert len(serial_report.schedulers) >= 7
+        assert len(serial_report.cells) >= 3
+        faulted = [
+            config
+            for config in serial_report.scenarios
+            if config.fault_profile
+        ]
+        assert faulted, "the harness must cover a fault-injected family"
+        for row in serial_report.cells.values():
+            assert set(row) == set(serial_report.schedulers)
+
+    def test_every_family_ships_by_default(self, serial_report):
+        names = {config.name for config in serial_report.scenarios}
+        assert names == {f"gap-{family[0]}" for family in GAP_FAMILIES}
+
+
+class TestEngineParity:
+    def test_parallel_run_is_bit_identical(self, serial_report):
+        parallel_report = run_gap(parallel=2, **HARNESS_KW)
+        assert parallel_report.fingerprint() == serial_report.fingerprint()
+        assert parallel_report.mean_gaps() == serial_report.mean_gaps()
+
+    def test_fingerprint_is_a_pure_function_of_the_pairs(self, serial_report):
+        assert serial_report.fingerprint() == serial_report.fingerprint()
+
+
+class TestScaleInvariance:
+    def test_gaps_survive_a_capacity_doubling(self):
+        # Simultaneous arrivals, so the whole schedule lives on one time
+        # axis that a capacity doubling rescales by exactly 1/2: every
+        # byte-threshold decision replays, JCTs and bounds both halve,
+        # gaps stay put.  (Staggered arrivals would not rescale — the
+        # arrival spacing is wall-clock — so overlap patterns, and hence
+        # gaps, may legitimately shift there.)
+        base = gap_scenarios(families=["trace-fbtao"], **HARNESS_KW)[
+            0
+        ].with_overrides(name="gap-scale-base", arrival_mode="simultaneous")
+        scaled = base.with_overrides(
+            name="gap-scale-2x", link_capacity=2.0 * TEN_GBPS
+        )
+        report = run_gap(
+            scenarios=[base, scaled], schedulers=SCALE_FREE_SCHEDULERS
+        )
+        report.validate()
+        gaps = report.mean_gaps()
+        for name in SCALE_FREE_SCHEDULERS:
+            assert gaps["gap-scale-2x"][name] == pytest.approx(
+                gaps["gap-scale-base"][name], rel=1e-6
+            )
+
+
+class TestPinnedCurves:
+    @pytest.mark.parametrize("scenario", sorted(FIGURE_SCENARIOS))
+    def test_figure_scenario_gap_fingerprints(self, scenario):
+        report = run_gap(
+            scenarios=[FIGURE_SCENARIOS[scenario]],
+            schedulers=PAPER_SCHEDULERS,
+        )
+        report.validate()
+        assert report.fingerprint() == GOLDEN_FIGURE_FINGERPRINTS[scenario]
+
+    def test_committed_golden_artifact_replays(self):
+        golden = json.loads((REPO_ROOT / "GAP_GOLDEN.json").read_text())
+        report = golden_harness_report(golden, parallel=2)
+        report.validate()
+        assert check_gap_golden(report, golden) == []
+
+
+class TestCli:
+    def test_gap_subcommand_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "gap",
+                "--jobs", "3",
+                "--schedulers", "pfs,sebf,sg-dag,lp-order",
+                "--families", "trace-fbtao,faulted-fbtao",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fingerprint:" in out
+        assert "sg-dag" in out and "lp-order" in out

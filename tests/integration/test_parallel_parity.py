@@ -23,8 +23,11 @@ from repro.experiments.sweep import sweep_offered_load
 from repro.experiments.trials import run_trials
 from repro.metrics.serialize import comparison_to_dict, grid_report_to_dict
 
-#: ≥3 schedulers, per the differential matrix contract.
-SCHEDULERS = ("pfs", "baraat", "gurita")
+#: ≥3 schedulers, per the differential matrix contract — including the
+#: gap-harness comparators, whose per-arrival precomputation (sg-dag) and
+#: ordered-list construction (lp-order) must replay identically in
+#: worker processes.
+SCHEDULERS = ("pfs", "baraat", "gurita", "sg-dag", "lp-order")
 #: ≥3 replicate seeds.
 SEEDS = (1, 2, 3)
 #: Both network substrates: the paper's FatTree and the big-switch fabric.

@@ -1,0 +1,125 @@
+"""Property tests for the optimality-gap sandwich and the bound algebra.
+
+The load-bearing invariant of the gap harness is the sandwich
+
+    lower_bound  <=  exact optimum  <=  any scheduler's measured JCT
+
+which is provable (not just plausible) on a restricted instance family:
+every flow lands on one receiver host, all jobs arrive at time zero, and
+the exact side reduces with ``layer_model="single"`` on one machine.
+There the receiver NIC is the single shared resource, so (a) each job's
+combinatorial bound is at most its total processing demand, (b) any
+simulated schedule induces a feasible preemptive single-machine schedule,
+and (c) with equal release dates preemption cannot reduce total
+completion time below the best job order — which the brute force finds.
+
+Hypothesis generates the instances; a violation in either inequality
+means a bound, the reduction, or the simulator drifted out of agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jobs import IdAllocator, JobBuilder
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+from repro.simulator.topology.bigswitch import BigSwitchTopology
+from repro.theory.lowerbound import (
+    job_lower_bound,
+    job_single_stage_lower_bound,
+)
+from repro.theory.reduction import optimal_total_jct
+
+#: Receiver host 0's NIC is the shared resource; rate 1.0 keeps byte
+#: counts equal to seconds, so generated integers stay exact in floats.
+RECEIVER = 0
+RATE = 1.0
+NUM_HOSTS = 6
+TOLERANCE = 1e-9
+
+#: One byte-threshold comparator per family: the rank baseline, the
+#: dependency-aware comparator, and the LP-relaxation comparator.
+SANDWICH_SCHEDULERS = ("sebf", "sg-dag", "lp-order")
+
+
+@st.composite
+def single_receiver_workloads(draw):
+    """1-3 jobs of 1-3 dependent coflows, every flow into host 0."""
+    ids = IdAllocator()
+    jobs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        builder = JobBuilder(arrival_time=0.0, ids=ids)
+        coflow_ids = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            num_flows = draw(st.integers(min_value=1, max_value=2))
+            flows = [
+                (
+                    draw(st.integers(min_value=1, max_value=NUM_HOSTS - 1)),
+                    RECEIVER,
+                    float(draw(st.integers(min_value=1, max_value=20))),
+                )
+                for _ in range(num_flows)
+            ]
+            deps = (
+                draw(
+                    st.lists(
+                        st.sampled_from(coflow_ids),
+                        unique=True,
+                        max_size=len(coflow_ids),
+                    )
+                )
+                if coflow_ids
+                else []
+            )
+            coflow_ids.append(builder.add_coflow(flows, depends_on=deps))
+        jobs.append(builder.build())
+    return jobs
+
+
+@given(single_receiver_workloads(), st.sampled_from(SANDWICH_SCHEDULERS))
+@settings(max_examples=40, deadline=None)
+def test_bound_opt_and_measured_jct_sandwich(jobs, scheduler_name):
+    bounds = {job.job_id: job_lower_bound(job, RATE) for job in jobs}
+    optimum, _instance = optimal_total_jct(jobs, RATE, layer_model="single")
+
+    # Lower bound <= exact optimum, job by job and in total.
+    for job_id, bound in bounds.items():
+        assert bound <= optimum.job_completion[job_id] + TOLERANCE
+    assert sum(bounds.values()) <= optimum.total_jct + TOLERANCE
+
+    # Exact optimum <= what the simulator measured for this policy.
+    result = simulate(
+        BigSwitchTopology(num_hosts=NUM_HOSTS, link_capacity=RATE),
+        make_scheduler(scheduler_name),
+        jobs,
+    )
+    measured = {job.job_id: job.completion_time() for job in result.jobs}
+    assert all(jct is not None for jct in measured.values())
+    assert optimum.total_jct <= sum(measured.values()) + TOLERANCE
+    for job_id, bound in bounds.items():
+        assert bound <= measured[job_id] + TOLERANCE
+
+
+@given(single_receiver_workloads())
+@settings(max_examples=100, deadline=None)
+def test_tightened_bound_dominates_legacy(jobs):
+    for job in jobs:
+        assert (
+            job_lower_bound(job, RATE)
+            >= job_single_stage_lower_bound(job, RATE) - TOLERANCE
+        )
+
+
+@given(
+    single_receiver_workloads(),
+    st.floats(min_value=0.25, max_value=8.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_bound_scales_inversely_with_rate(jobs, factor):
+    """Doubling every link halves the bound: gaps are scale-invariant."""
+    for job in jobs:
+        base = job_lower_bound(job, RATE)
+        scaled = job_lower_bound(job, RATE * factor)
+        assert scaled * factor == pytest.approx(base, rel=1e-9)

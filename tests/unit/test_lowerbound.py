@@ -2,18 +2,22 @@
 
 import pytest
 
-from repro.jobs import chain_job, single_stage_job
+from repro.jobs import JobBuilder, chain_job, single_stage_job
 from repro.schedulers.pfs import PerFlowFairSharing
 from repro.simulator.runtime import simulate
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.theory.lowerbound import (
+    coflow_earliest_starts,
     coflow_service_bound,
     job_critical_path_bound,
     job_lower_bound,
     job_port_bound,
+    job_precedence_port_bound,
+    job_single_stage_lower_bound,
     mean_optimality_gap,
     optimality_gaps,
 )
+from repro.workloads.tpcds import RELATIVE_VOLUMES, query42_shape
 
 GB = 1e9
 
@@ -56,6 +60,79 @@ class TestJobBounds:
     def test_combined_bound_takes_max(self, ids):
         job = chain_job([[(0, 1, 1.0 * GB)], [(1, 2, 2.0 * GB)]], ids=ids)
         assert job_lower_bound(job, 1.0 * GB) == pytest.approx(3.0)
+
+
+class TestPrecedencePortBound:
+    def test_earliest_starts_follow_heaviest_chain(self, diamond_job):
+        starts = coflow_earliest_starts(diamond_job, 1.0)
+        names = diamond_job.coflow_ids
+        assert starts[names["leaf"]] == pytest.approx(0.0)
+        assert starts[names["left"]] == pytest.approx(100.0)
+        assert starts[names["right"]] == pytest.approx(100.0)
+        # The root waits for the heavier branch: 100 (leaf) + 75 (right).
+        assert starts[names["root"]] == pytest.approx(175.0)
+
+    def test_dominates_plain_port_bound(self, diamond_job):
+        assert job_precedence_port_bound(diamond_job, 1.0) >= job_port_bound(
+            diamond_job, 1.0
+        )
+
+    def test_tightens_diamond_beyond_legacy_bound(self, diamond_job):
+        # Host 1 must send both siblings (50 + 75 bytes) and neither can
+        # start before the leaf's 100 bytes land: 100 + 125 = 225.  The
+        # legacy bound sees only max(critical path 200, port load 125).
+        assert job_precedence_port_bound(diamond_job, 1.0) == pytest.approx(225.0)
+        assert job_single_stage_lower_bound(diamond_job, 1.0) == pytest.approx(200.0)
+        assert job_lower_bound(diamond_job, 1.0) == pytest.approx(225.0)
+
+    def test_rate_validation(self, diamond_job):
+        with pytest.raises(ValueError):
+            job_precedence_port_bound(diamond_job, 0.0)
+
+
+class TestQuery42Regression:
+    """Pin old-vs-new bound on the TPC-DS query-42 DAG.
+
+    Every positive-earliest-start coflow of the q42 tree (both joins, the
+    aggregate, the sort) lies on one chain, so the precedence-port term
+    collapses onto max(critical path, port) there — the tightened bound
+    must *equal* the historical one, and either side moving is a
+    regression (a weakened term or an unsound tightening).
+    """
+
+    @pytest.fixture
+    def q42_job(self, ids):
+        # One flow per query node, every shuffle landing on reducer host
+        # 7 — the fan-in placement where the port terms are the tightest.
+        shape = query42_shape()
+        deps_of = {node: [] for node in range(shape.num_nodes)}
+        for src, dst in shape.edges:
+            deps_of[dst].append(src)
+        builder = JobBuilder(arrival_time=0.0, ids=ids)
+        coflow_ids = {}
+        for node in range(shape.num_nodes):
+            coflow_ids[node] = builder.add_coflow(
+                [(node, 7, RELATIVE_VOLUMES[node] * GB)],
+                depends_on=[coflow_ids[dep] for dep in deps_of[node]],
+            )
+        return builder.build()
+
+    def test_pinned_old_and_new_bounds(self, q42_job):
+        # Critical path: store_sales scan -> join -> join -> agg -> sort.
+        assert job_critical_path_bound(q42_job, GB) == pytest.approx(1.66)
+        # Reducer ingress moves every stage's bytes: sum(RELATIVE_VOLUMES).
+        assert job_port_bound(q42_job, GB) == pytest.approx(1.73)
+        legacy = job_single_stage_lower_bound(q42_job, GB)
+        tightened = job_lower_bound(q42_job, GB)
+        assert legacy == pytest.approx(1.73)
+        assert tightened == pytest.approx(1.73)
+        assert tightened >= legacy
+
+    def test_tightened_never_below_legacy(self, q42_job, diamond_job):
+        for job in (q42_job, diamond_job):
+            assert job_lower_bound(job, GB) >= job_single_stage_lower_bound(
+                job, GB
+            )
 
 
 class TestGaps:

@@ -3,6 +3,11 @@
 import pytest
 
 from repro.errors import TopologyError
+from repro.experiments.common import (
+    ScenarioConfig,
+    build_topology,
+    scenario_link_rate,
+)
 from repro.simulator.topology.bigswitch import BigSwitchTopology
 from repro.simulator.topology.fattree import FatTreeTopology
 from repro.simulator.topology.links import TEN_GBPS, LinkTable
@@ -121,3 +126,32 @@ class TestFatTree:
     def test_default_capacity_is_ten_gigabit(self):
         topo = FatTreeTopology(k=4)
         assert topo.links.link(0).capacity == TEN_GBPS
+
+
+class TestScenarioLinkRate:
+    """`scenario_link_rate` must track `host_link_capacity` exactly.
+
+    The helper is the pure-of-the-config shortcut bound computations use
+    instead of building the fabric; if either topology ever grows
+    non-uniform capacities, these pins force the shortcut to be revisited.
+    """
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ScenarioConfig(topology="fattree", fattree_k=4),
+            ScenarioConfig(
+                topology="fattree", fattree_k=4, link_capacity=2.5 * TEN_GBPS
+            ),
+            ScenarioConfig(topology="bigswitch", num_hosts=8),
+            ScenarioConfig(
+                topology="bigswitch", num_hosts=8, link_capacity=0.5 * TEN_GBPS
+            ),
+        ],
+        ids=["fattree-default", "fattree-scaled", "bigswitch-default", "bigswitch-scaled"],
+    )
+    def test_matches_built_topology(self, config):
+        assert scenario_link_rate(config) == build_topology(config).host_link_capacity
+
+    def test_default_is_ten_gigabit(self):
+        assert scenario_link_rate(ScenarioConfig()) == TEN_GBPS
