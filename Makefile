@@ -4,17 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline typecheck ruff test test-fast coverage chaos-smoke bench bench-check gap gap-golden all
+.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline units-lint units-baseline typecheck ruff test test-fast coverage chaos-smoke bench bench-check gap gap-golden all
 
-## Everything static in one command: all three simlint layers (per-file
-## SIM001-SIM006, whole-program --deep SIM101-SIM106, hot-closure --perf
-## SIM201-SIM207), each against its own committed baseline, plus ruff
+## Everything static in one command: all four simlint layers in one
+## pass (per-file SIM001-SIM006, whole-program --deep SIM101-SIM106,
+## hot-closure --perf SIM201-SIM207, dimensional/streaming --units
+## SIM301-SIM308) against the merged committed baselines, plus ruff
 ## and mypy (the latter two need the dev extra).
 lint:
-	$(PYTHON) -m tools.simlint --deep src \
-		--baseline tools/simlint/deep_baseline.json
-	$(PYTHON) -m tools.simlint --perf src \
-		--baseline tools/simlint/perf_baseline.json
+	$(PYTHON) -m tools.simlint --all src --baseline
 	$(PYTHON) -m ruff check src tools tests
 	$(PYTHON) -m mypy --strict -p repro.simulator -p repro.schedulers \
 		-p repro.experiments -p repro.metrics
@@ -45,6 +43,18 @@ perf-lint:
 perf-baseline:
 	$(PYTHON) -m tools.simlint --perf src --write-baseline tools/simlint/perf_baseline.json
 
+## Dimensional-analysis + streaming-discipline rules (SIM301-SIM308)
+## seeded from the repro.simulator.units annotations, against the
+## committed units baseline.
+units-lint:
+	$(PYTHON) -m tools.simlint --units src --baseline tools/simlint/units_baseline.json
+
+## Refresh the units baseline after an intentional change.  Prefer an
+## in-place pragma (ignore[SIM3xx] / unit[...]) with a reason; the
+## committed baseline stays empty by policy.
+units-baseline:
+	$(PYTHON) -m tools.simlint --units src --write-baseline tools/simlint/units_baseline.json
+
 ## mypy --strict over the strict-clean packages (needs the dev extra).
 typecheck:
 	$(PYTHON) -m mypy --strict -p repro.simulator -p repro.schedulers \
@@ -62,15 +72,17 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/unit -x -q
 
-## Re-capture the committed performance trajectory (BENCH_6.json).
-## Run on an otherwise-idle machine; takes a few minutes.
+## Re-capture the committed performance trajectory: writes the next
+## BENCH_<n+1>.json after the latest committed artifact.  Run on an
+## otherwise-idle machine; takes a few minutes.
 bench:
-	$(PYTHON) benchmarks/perf_trajectory.py --out BENCH_6.json
+	$(PYTHON) benchmarks/perf_trajectory.py --out
 
 ## What the perf-smoke CI job runs: the small pinned workload against
-## the committed numbers (REPRO_PERF_TOLERANCE overrides the 20% band).
+## the latest committed BENCH_<n>.json (auto-discovered;
+## REPRO_PERF_TOLERANCE overrides the 20% band).
 bench-check:
-	$(PYTHON) benchmarks/perf_trajectory.py --check BENCH_6.json --workloads scal-k4
+	$(PYTHON) benchmarks/perf_trajectory.py --check --workloads scal-k4
 
 ## Strict-invariant chaos run (what the chaos-smoke CI job executes),
 ## including the gap-harness comparators.
@@ -97,4 +109,4 @@ coverage:
 		--cov=repro.schedulers --cov=repro.theory \
 		--cov-report=term-missing --cov-fail-under=85
 
-all: file-lint deep-lint perf-lint test
+all: file-lint deep-lint perf-lint units-lint test

@@ -26,9 +26,14 @@ different simulation output would be meaningless.
 
 Modes::
 
-    python benchmarks/perf_trajectory.py --out BENCH_6.json   # full run
-    python benchmarks/perf_trajectory.py --check BENCH_6.json \
-        --workloads scal-k4                                   # CI smoke
+    python benchmarks/perf_trajectory.py --out            # next BENCH_<n+1>
+    python benchmarks/perf_trajectory.py --out BENCH_9.json
+    python benchmarks/perf_trajectory.py --check \
+        --workloads scal-k4            # CI smoke vs the latest BENCH_*
+
+With no value, ``--check`` discovers the highest-numbered committed
+``BENCH_<n>.json`` in the repository root and ``--out`` writes the next
+number in the sequence — callers never hardcode the current artifact.
 
 ``--check`` re-measures the selected workloads and fails (exit 1) when
 events/sec regresses more than ``--tolerance`` (default 0.2, overridable
@@ -43,16 +48,49 @@ import hashlib
 import json
 import math
 import os
+import re
 import sys
 import time
-from typing import Dict, Iterable, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
 
 from repro.experiments.common import ScenarioConfig, build_jobs, build_topology
 from repro.schedulers.registry import make_scheduler
 from repro.simulator.runtime import simulate
 
 SCHEMA = "perf-trajectory/v1"
-BENCH_ID = "BENCH_6"
+
+#: Trajectory artifacts live in the repo root as ``BENCH_<n>.json``.
+_BENCH_NAME_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: argparse sentinels for "discover the artifact yourself".
+_LATEST = "__latest__"
+_NEXT = "__next__"
+
+
+def bench_artifacts(root: str = ".") -> List[Path]:
+    """Committed ``BENCH_<n>.json`` files, sorted by trajectory number."""
+    found = [
+        (int(match.group(1)), path)
+        for path in Path(root).glob("BENCH_*.json")
+        if (match := _BENCH_NAME_RE.match(path.name)) is not None
+    ]
+    return [path for _, path in sorted(found)]
+
+
+def latest_bench(root: str = ".") -> Optional[Path]:
+    """The highest-numbered committed artifact, or None."""
+    artifacts = bench_artifacts(root)
+    return artifacts[-1] if artifacts else None
+
+
+def next_bench_path(root: str = ".") -> Path:
+    """The next artifact name in the trajectory sequence."""
+    latest = latest_bench(root)
+    if latest is None:
+        return Path(root) / "BENCH_1.json"
+    number = int(_BENCH_NAME_RE.match(latest.name).group(1))  # type: ignore[union-attr]
+    return latest.with_name(f"BENCH_{number + 1}.json")
 
 #: Pinned workloads.  Names are harness-level ids; the fig5 config keeps
 #: its historical scenario name ("FB-t") so the generated workload is
@@ -158,7 +196,7 @@ def write_artifact(path: str, measured: Dict[str, Dict[str, object]]) -> None:
     }
     artifact = {
         "schema": SCHEMA,
-        "bench_id": BENCH_ID,
+        "bench_id": Path(path).stem,
         "baseline": BASELINE,
         "current": {
             "captured_on": "optimized tree, same reference box",
@@ -206,9 +244,23 @@ def check_regression(
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", help="write a fresh artifact to this path")
     parser.add_argument(
-        "--check", help="regression-check against this committed artifact"
+        "--out",
+        nargs="?",
+        const=_NEXT,
+        help=(
+            "write a fresh artifact to this path (with no value: the next "
+            "BENCH_<n+1>.json after the latest committed artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const=_LATEST,
+        help=(
+            "regression-check against this committed artifact (with no "
+            "value: the latest committed BENCH_<n>.json)"
+        ),
     )
     parser.add_argument(
         "--workloads",
@@ -233,10 +285,20 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"unknown workloads: {unknown}; have {list(WORKLOADS)}")
     if args.check:
-        return check_regression(args.check, names, args.tolerance)
+        check_path = args.check
+        if check_path == _LATEST:
+            discovered = latest_bench()
+            if discovered is None:
+                parser.error("no committed BENCH_<n>.json found to check against")
+            check_path = str(discovered)
+            print(f"checking against latest artifact: {check_path}", flush=True)
+        return check_regression(check_path, names, args.tolerance)
     measured = run_all(names, repeats=args.repeats)
     if args.out:
-        write_artifact(args.out, measured)
+        out_path = args.out
+        if out_path == _NEXT:
+            out_path = str(next_bench_path())
+        write_artifact(out_path, measured)
     return 0
 
 

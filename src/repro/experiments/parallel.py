@@ -240,7 +240,8 @@ def validate_unit_result(unit: WorkUnit, result: object) -> ScenarioResult:
         )
     for name, sim in sorted(result.results.items()):
         jct = sim.average_jct()
-        if not jct > 0.0 or jct != jct or jct == float("inf"):
+        # NaN/inf validity probe below is not a time comparison.
+        if not jct > 0.0 or jct != jct or jct == float("inf"):  # simlint: ignore[SIM302]
             raise UnitResultError(
                 f"unit {unit.describe()} has non-finite average JCT for "
                 f"{name!r}: {jct!r}"

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import InvalidJobError
 from repro.jobs.flow import Flow, FlowState
+
+if TYPE_CHECKING:  # annotation-only: a runtime import would cycle
+    from repro.simulator.units import Bytes, Seconds
 
 
 class CoflowState(enum.Enum):
@@ -47,8 +50,8 @@ class Coflow:
     stage: int = 1
 
     state: CoflowState = CoflowState.BLOCKED
-    release_time: Optional[float] = None
-    finish_time: Optional[float] = None
+    release_time: Optional[Seconds] = None
+    finish_time: Optional[Seconds] = None
 
     def __post_init__(self) -> None:
         if not self.flows:
@@ -70,17 +73,17 @@ class Coflow:
         return len(self.flows)
 
     @property
-    def max_flow_bytes(self) -> float:
+    def max_flow_bytes(self) -> Bytes:
         """Vertical dimension: size of the largest flow."""
         return max(flow.size_bytes for flow in self.flows)
 
     @property
-    def mean_flow_bytes(self) -> float:
+    def mean_flow_bytes(self) -> Bytes:
         """Average flow size, used to normalize the blocking effect."""
         return self.total_bytes / len(self.flows)
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> Bytes:
         """Aggregate size of all flows."""
         return sum(flow.size_bytes for flow in self.flows)
 
@@ -88,7 +91,7 @@ class Coflow:
     # Online (observable) quantities, as seen at the receivers.
     # ------------------------------------------------------------------
     @property
-    def bytes_sent(self) -> float:
+    def bytes_sent(self) -> Bytes:
         """Bytes delivered so far across all flows."""
         return sum(flow.bytes_sent for flow in self.flows)
 
@@ -98,18 +101,18 @@ class Coflow:
         return sum(1 for flow in self.flows if flow.state is FlowState.ACTIVE)
 
     @property
-    def observed_max_flow_bytes(self) -> float:
+    def observed_max_flow_bytes(self) -> Bytes:
         """Largest per-flow byte count observed at the receivers so far."""
         return max((flow.bytes_sent for flow in self.flows), default=0.0)
 
     @property
-    def observed_mean_flow_bytes(self) -> float:
+    def observed_mean_flow_bytes(self) -> Bytes:
         """Average per-flow byte count observed at the receivers so far."""
         if not self.flows:
             return 0.0
         return self.bytes_sent / len(self.flows)
 
-    def observed_stats(self) -> Tuple[int, float, float]:
+    def observed_stats(self) -> Tuple[int, Bytes, Bytes]:
         """``(active_width, observed_max, observed_mean)`` in one pass.
 
         Ψ̈ needs all three every scheduling round; computing them via the
@@ -142,7 +145,7 @@ class Coflow:
     def is_running(self) -> bool:
         return self.state is CoflowState.RUNNING
 
-    def release(self, now: float) -> None:
+    def release(self, now: Seconds) -> None:
         """Release the coflow: all its flows become active."""
         if self.state is not CoflowState.BLOCKED:
             raise InvalidJobError(
@@ -153,7 +156,7 @@ class Coflow:
         for flow in self.flows:
             flow.start(now)
 
-    def maybe_complete(self, now: float) -> bool:
+    def maybe_complete(self, now: Seconds) -> bool:
         """Mark the coflow DONE if every flow finished; return True if so."""
         if self.state is CoflowState.DONE:
             return False
@@ -163,7 +166,7 @@ class Coflow:
             return True
         return False
 
-    def completion_time(self) -> Optional[float]:
+    def completion_time(self) -> Optional[Seconds]:
         """Coflow completion time (CCT) from release to last flow delivery."""
         if self.release_time is None or self.finish_time is None:
             return None

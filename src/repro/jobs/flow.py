@@ -9,12 +9,15 @@ aggregations defined on top of them.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import InvalidJobError
 
+if TYPE_CHECKING:  # annotation-only: a runtime import would cycle
+    from repro.simulator.units import Bytes, BytesPerSec, Seconds
+
 #: Volume below which a flow is considered finished (guards float round-off).
-VOLUME_EPSILON = 1e-6
+VOLUME_EPSILON: Bytes = 1e-6
 
 
 class FlowState(enum.Enum):
@@ -68,12 +71,12 @@ class Flow:
         coflow_id: int,
         src: int,
         dst: int,
-        size_bytes: float,
+        size_bytes: Bytes,
         state: FlowState = FlowState.PENDING,
-        remaining_bytes: float = 0.0,
-        start_time: Optional[float] = None,
-        finish_time: Optional[float] = None,
-        rate: float = 0.0,
+        remaining_bytes: Bytes = 0.0,
+        start_time: Optional[Seconds] = None,
+        finish_time: Optional[Seconds] = None,
+        rate: BytesPerSec = 0.0,
         priority: Optional[int] = None,
         route: Tuple[int, ...] = (),
     ) -> None:
@@ -138,7 +141,7 @@ class Flow:
         )
 
     @property
-    def bytes_sent(self) -> float:
+    def bytes_sent(self) -> Bytes:
         """Bytes already delivered to the receiver."""
         return self.size_bytes - self.remaining_bytes
 
@@ -150,7 +153,7 @@ class Flow:
     def is_active(self) -> bool:
         return self.state is FlowState.ACTIVE
 
-    def start(self, now: float) -> None:
+    def start(self, now: Seconds) -> None:
         """Transition PENDING -> ACTIVE at simulation time ``now``."""
         if self.state is not FlowState.PENDING:
             raise InvalidJobError(
@@ -159,13 +162,13 @@ class Flow:
         self.state = FlowState.ACTIVE
         self.start_time = now
 
-    def advance(self, elapsed: float) -> None:
+    def advance(self, elapsed: Seconds) -> None:
         """Consume volume for ``elapsed`` seconds at the current rate."""
         if self.state is not FlowState.ACTIVE or elapsed <= 0.0:
             return
         self.remaining_bytes = max(0.0, self.remaining_bytes - self.rate * elapsed)
 
-    def finish(self, now: float) -> None:
+    def finish(self, now: Seconds) -> None:
         """Transition ACTIVE -> DONE at simulation time ``now``."""
         if self.state is not FlowState.ACTIVE:
             raise InvalidJobError(
@@ -181,7 +184,7 @@ class Flow:
         """True when remaining volume is below the completion epsilon."""
         return self.remaining_bytes <= VOLUME_EPSILON
 
-    def duration(self) -> Optional[float]:
+    def duration(self) -> Optional[Seconds]:
         """Completion time of this flow, or ``None`` if not finished."""
         if self.start_time is None or self.finish_time is None:
             return None

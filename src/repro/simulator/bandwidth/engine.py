@@ -42,6 +42,7 @@ from repro.simulator.bandwidth.request import AllocationMode, AllocationRequest
 from repro.simulator.bandwidth.spq import allocate_spq_memberships
 from repro.simulator.bandwidth.wrr import allocate_wrr_memberships
 from repro.simulator.hotpath import hot_path
+from repro.simulator.units import BytesPerSec
 
 
 @dataclass
@@ -91,7 +92,7 @@ class AllocationState:
       parameters — is a cache hit returning the previous rates.
     """
 
-    def __init__(self, capacities: Sequence[float]) -> None:
+    def __init__(self, capacities: Sequence[BytesPerSec]) -> None:
         self._caps: npt.NDArray[np.float64] = np.asarray(capacities, dtype=float)
         self.all_flows = LinkMembership(len(self._caps))
         self._class_members: Optional[List[LinkMembership]] = None
@@ -101,7 +102,7 @@ class AllocationState:
         self._priorities: Dict[int, int] = {}
         self._params: Optional[Tuple[object, ...]] = None
         self._structure_dirty = True
-        self._last_rates: Dict[int, float] = {}
+        self._last_rates: Dict[int, BytesPerSec] = {}
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -169,7 +170,7 @@ class AllocationState:
         self.stats.delta_updates += 1
 
     @hot_path
-    def set_capacity(self, link_id: int, capacity: float) -> None:
+    def set_capacity(self, link_id: int, capacity: BytesPerSec) -> None:
         """Revoke or restore one link's capacity (fault injection).
 
         Only the capacity vector entry changes — the link memberships,
@@ -189,7 +190,7 @@ class AllocationState:
         self._structure_dirty = True
         self.stats.capacity_revocations += 1
 
-    def capacity_of(self, link_id: int) -> float:
+    def capacity_of(self, link_id: int) -> BytesPerSec:
         """The engine's current (possibly revoked) capacity for a link."""
         return float(self._caps[link_id])
 
@@ -201,7 +202,7 @@ class AllocationState:
         self,
         request: AllocationRequest,
         priority_delta: Optional[FrozenSet[int]] = None,
-    ) -> Dict[int, float]:
+    ) -> Dict[int, BytesPerSec]:
         """Rates for ``request`` over the currently active flows.
 
         ``priority_delta`` is the policy-reported set of flows whose class
@@ -294,7 +295,7 @@ class AllocationState:
                 self._class_of[flow_id] = cls
                 self.stats.delta_updates += 1
 
-    def _compute(self, request: AllocationRequest) -> Dict[int, float]:
+    def _compute(self, request: AllocationRequest) -> Dict[int, BytesPerSec]:
         if request.mode is AllocationMode.MAXMIN:
             return water_fill_membership(self.all_flows, self._caps.copy())
         assert self._class_members is not None

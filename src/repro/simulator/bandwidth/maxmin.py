@@ -47,8 +47,10 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.simulator.hotpath import hot_path
+from repro.simulator.units import BytesPerSec
 
-_EPSILON = 1e-9
+#: Rate tolerance for freeze/exhaustion comparisons (bytes/second).
+_EPSILON: BytesPerSec = 1e-9
 
 #: Flow counts below which the vectorised round is never worth trying
 #: (numpy call overhead dominates tiny memberships).
@@ -66,7 +68,7 @@ _VECTOR_DISPATCH = False
 
 def share_at_most(
     shares: npt.NDArray[np.float64],
-    bottleneck: float,
+    bottleneck: BytesPerSec,
     out: Union[npt.NDArray[np.bool_], None] = None,
 ) -> npt.NDArray[np.bool_]:
     """Blessed comparison: which ``shares`` equal ``bottleneck`` within
@@ -84,7 +86,7 @@ def share_at_most(
     return result
 
 
-def capacity_exhausted(capacity: float) -> bool:
+def capacity_exhausted(capacity: BytesPerSec) -> bool:
     """Blessed comparison: is a residual capacity effectively zero?
 
     Fault-degraded links (``set_capacity`` to zero, or drift within
@@ -258,7 +260,7 @@ class LinkMembership:
 def water_fill_membership(
     membership: LinkMembership,
     residual: npt.NDArray[np.float64],
-) -> Dict[int, float]:
+) -> Dict[int, BytesPerSec]:
     """Max-min fair rates for ``membership`` within ``residual`` capacity.
 
     The core of :func:`water_fill`, operating on prebuilt membership
@@ -267,7 +269,7 @@ def water_fill_membership(
     and tiny negative drift is clamped — so callers can layer allocations,
     e.g. one priority class after another.
     """
-    rates: Dict[int, float] = {}
+    rates: Dict[int, BytesPerSec] = {}
     if not membership.routes:
         return rates
 
@@ -285,7 +287,7 @@ def water_fill_membership(
 def _water_fill_scalar(
     membership: LinkMembership,
     res: npt.NDArray[np.float64],
-    rates: Dict[int, float],
+    rates: Dict[int, BytesPerSec],
 ) -> None:
     """The historical per-flow loop; fastest for tiny memberships.
 
@@ -377,7 +379,7 @@ def _water_fill_scalar(
 def _water_fill_vectorized(
     membership: LinkMembership,
     res: npt.NDArray[np.float64],
-    rates: Dict[int, float],
+    rates: Dict[int, BytesPerSec],
 ) -> None:
     """Progressive filling on a flat CSR view of the routes.
 
@@ -465,7 +467,7 @@ def _water_fill_vectorized(
 def water_fill(
     flow_routes: Mapping[int, Route],
     residual: Union[npt.NDArray[np.float64], List[float]],
-) -> Dict[int, float]:
+) -> Dict[int, BytesPerSec]:
     """Max-min fair rates for ``flow_routes`` within ``residual`` capacity.
 
     ``residual`` is indexed by link id and is **mutated** (allocated
@@ -495,7 +497,7 @@ def water_fill(
 
 def allocate_maxmin(
     flow_routes: Mapping[int, Route],
-    capacities: Sequence[float],
-) -> Dict[int, float]:
+    capacities: Sequence[BytesPerSec],
+) -> Dict[int, BytesPerSec]:
     """Max-min fair rates against fresh link capacities (non-mutating)."""
     return water_fill(flow_routes, np.array(capacities, dtype=float))

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.simulator.hotpath import hot_path
 from repro.simulator.timecmp import time_before, time_resolution, times_close
+from repro.simulator.units import Seconds
 
 
 class EventKind(enum.IntEnum):
@@ -74,7 +75,7 @@ class Event:
 
     def __init__(
         self,
-        time: float,
+        time: Seconds,
         kind: EventKind,
         seq: int,
         payload: Any = None,
@@ -117,7 +118,7 @@ class EventQueueBase:
     def _take(self) -> Event:
         raise NotImplementedError
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[Seconds]:
         """Timestamp of the earliest event, or None if empty."""
         raise NotImplementedError
 
@@ -125,7 +126,7 @@ class EventQueueBase:
     @hot_path
     def push(
         self,
-        time: float,
+        time: Seconds,
         kind: EventKind,
         payload: Any = None,
         epoch: int = 0,
@@ -162,7 +163,7 @@ class EventQueueBase:
         return event
 
     @hot_path
-    def has_event_within(self, horizon: float) -> bool:
+    def has_event_within(self, horizon: Seconds) -> bool:
         """Is the next event at or before ``horizon``, within resolution?
 
         This is the batch-draining test: an event within float time
@@ -177,7 +178,7 @@ class EventQueueBase:
         return next_time <= horizon or times_close(next_time, horizon)
 
     @property
-    def watermark(self) -> float:
+    def watermark(self) -> Seconds:
         """Latest popped timestamp (``-inf`` before the first pop)."""
         return self._watermark
 
@@ -204,7 +205,7 @@ class EventQueue(EventQueueBase):
         return heapq.heappop(self._heap)[3]
 
     @hot_path
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[Seconds]:
         """Timestamp of the earliest event, or None if empty."""
         if not self._heap:
             return None
@@ -264,7 +265,7 @@ class BucketEventQueue(EventQueueBase):
         return event
 
     @hot_path
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[Seconds]:
         """Timestamp of the earliest event, or None if empty."""
         if not self._times:
             return None

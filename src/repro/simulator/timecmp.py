@@ -15,14 +15,16 @@ from __future__ import annotations
 
 import math
 
+from repro.simulator.units import Seconds
+
 #: Absolute floor of the time resolution (seconds); relevant only near t=0.
-TIME_EPSILON = 1e-15
+TIME_EPSILON: Seconds = 1e-15
 
 #: Relative resolution in units of ulps at the current clock value.
 RESOLUTION_ULPS = 8.0
 
 
-def time_resolution(t: float) -> float:
+def time_resolution(t: Seconds) -> Seconds:
     """The smallest meaningful time step at clock value ``t``.
 
     Events closer together than this are considered simultaneous; flows
@@ -32,11 +34,11 @@ def time_resolution(t: float) -> float:
     return max(math.ulp(abs(t)) * RESOLUTION_ULPS, TIME_EPSILON)
 
 
-def times_close(a: float, b: float) -> bool:
+def times_close(a: Seconds, b: Seconds) -> bool:
     """Do ``a`` and ``b`` denote the same simulation instant?"""
     return abs(a - b) <= max(time_resolution(a), time_resolution(b))
 
 
-def time_before(a: float, b: float) -> bool:
+def time_before(a: Seconds, b: Seconds) -> bool:
     """Is ``a`` strictly before ``b``, beyond float time resolution?"""
     return a < b - max(time_resolution(a), time_resolution(b))

@@ -50,13 +50,14 @@ from repro.experiments.parallel import (
 from repro.metrics.report import format_gap_table
 from repro.schedulers.registry import available_schedulers
 from repro.simulator.runtime import SimulationResult
+from repro.simulator.units import BytesPerSec, Fraction, Seconds
 from repro.theory.lowerbound import job_lower_bound
 
 #: Bump when the golden-artifact layout changes.
 GAP_GOLDEN_FORMAT = 1
 
 #: Relative slack for "bound <= JCT": float noise only, not modelling slack.
-GAP_TOLERANCE = 1e-9
+GAP_TOLERANCE: Fraction = 1e-9
 
 #: The default scenario families: structure x arrival x fabric health.
 #: Deliberately >= 3 families, including one under fault injection, so the
@@ -104,8 +105,8 @@ def gap_scenarios(
 
 
 def workload_lower_bounds(
-    result: SimulationResult, link_rate: float
-) -> Dict[int, float]:
+    result: SimulationResult, link_rate: BytesPerSec
+) -> Dict[int, Seconds]:
     """Per-job combinatorial lower bound for one simulated workload."""
     return {
         job.job_id: job_lower_bound(job, link_rate) for job in result.jobs
@@ -120,11 +121,11 @@ class GapCell:
     scheduler: str
     #: jobs that completed and have a positive lower bound
     num_jobs: int
-    mean_jct: float
-    mean_bound: float
+    mean_jct: Seconds
+    mean_bound: Seconds
     #: mean of per-job JCT/bound ratios (>= 1.0 for any feasible schedule)
-    mean_gap: float
-    max_gap: float
+    mean_gap: Fraction
+    max_gap: Fraction
     #: jobs whose measured JCT undercut their bound beyond float noise —
     #: any nonzero count means a bound (or the simulator) is wrong
     violations: int
@@ -146,10 +147,10 @@ def gap_cell(
     scenario: str,
     scheduler: str,
     result: SimulationResult,
-    link_rate: float,
-) -> Tuple[GapCell, Dict[int, Tuple[float, float]]]:
+    link_rate: BytesPerSec,
+) -> Tuple[GapCell, Dict[int, Tuple[Seconds, Seconds]]]:
     """Compute one cell plus its raw per-job ``(JCT, bound)`` pairs."""
-    pairs: Dict[int, Tuple[float, float]] = {}
+    pairs: Dict[int, Tuple[Seconds, Seconds]] = {}
     for job in result.jobs:
         jct = job.completion_time()
         if jct is None:

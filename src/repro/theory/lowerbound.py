@@ -33,9 +33,10 @@ from repro.jobs.coflow import Coflow
 from repro.jobs.job import Job
 from repro.jobs.paths import critical_path
 from repro.simulator.runtime import SimulationResult
+from repro.simulator.units import Bytes, BytesPerSec, Fraction, Seconds
 
 
-def coflow_service_bound(coflow: Coflow, link_rate: float) -> float:
+def coflow_service_bound(coflow: Coflow, link_rate: BytesPerSec) -> Seconds:
     """Minimum time to drain one coflow at NIC line rate.
 
     The slowest of: the largest single flow, the most-loaded sender port,
@@ -43,8 +44,8 @@ def coflow_service_bound(coflow: Coflow, link_rate: float) -> float:
     """
     if link_rate <= 0:
         raise ValueError("link_rate must be positive")
-    out_bytes: Dict[int, float] = defaultdict(float)
-    in_bytes: Dict[int, float] = defaultdict(float)
+    out_bytes: Dict[int, Bytes] = defaultdict(float)
+    in_bytes: Dict[int, Bytes] = defaultdict(float)
     largest = 0.0
     for flow in coflow.flows:
         out_bytes[flow.src] += flow.size_bytes
@@ -57,21 +58,21 @@ def coflow_service_bound(coflow: Coflow, link_rate: float) -> float:
     return max(largest, port_load) / link_rate
 
 
-def job_critical_path_bound(job: Job, link_rate: float) -> float:
+def job_critical_path_bound(job: Job, link_rate: BytesPerSec) -> Seconds:
     """Serial service time of the heaviest dependency path."""
-    def cost(coflow_id: int) -> float:
+    def cost(coflow_id: int) -> Seconds:
         return coflow_service_bound(job.coflow(coflow_id), link_rate)
 
     _path, bound = critical_path(job.dag, cost)
     return bound
 
 
-def job_port_bound(job: Job, link_rate: float) -> float:
+def job_port_bound(job: Job, link_rate: BytesPerSec) -> Seconds:
     """The most bytes any one NIC moves for this job, at line rate."""
     if link_rate <= 0:
         raise ValueError("link_rate must be positive")
-    out_bytes: Dict[int, float] = defaultdict(float)
-    in_bytes: Dict[int, float] = defaultdict(float)
+    out_bytes: Dict[int, Bytes] = defaultdict(float)
+    in_bytes: Dict[int, Bytes] = defaultdict(float)
     for coflow in job.coflows:
         for flow in coflow.flows:
             out_bytes[flow.src] += flow.size_bytes
@@ -83,7 +84,7 @@ def job_port_bound(job: Job, link_rate: float) -> float:
     return port_load / link_rate
 
 
-def coflow_earliest_starts(job: Job, link_rate: float) -> Dict[int, float]:
+def coflow_earliest_starts(job: Job, link_rate: BytesPerSec) -> Dict[int, Seconds]:
     """Earliest possible start of each coflow, per the dependency DAG.
 
     No schedule can start a coflow before every chain of its ancestors has
@@ -94,7 +95,7 @@ def coflow_earliest_starts(job: Job, link_rate: float) -> Dict[int, float]:
         coflow.coflow_id: coflow_service_bound(coflow, link_rate)
         for coflow in job.coflows
     }
-    starts: Dict[int, float] = {}
+    starts: Dict[int, Seconds] = {}
     for cid in job.dag.topological_order():
         starts[cid] = max(
             (starts[dep] + service[dep] for dep in job.dag.dependencies_of(cid)),
@@ -103,7 +104,7 @@ def coflow_earliest_starts(job: Job, link_rate: float) -> Dict[int, float]:
     return starts
 
 
-def job_precedence_port_bound(job: Job, link_rate: float) -> float:
+def job_precedence_port_bound(job: Job, link_rate: BytesPerSec) -> Seconds:
     """The port bound tightened with dependency earliest-start times.
 
     For every NIC direction and every earliest-start threshold ``t``: all
@@ -141,7 +142,7 @@ def job_precedence_port_bound(job: Job, link_rate: float) -> float:
     return bound
 
 
-def job_lower_bound(job: Job, link_rate: float) -> float:
+def job_lower_bound(job: Job, link_rate: BytesPerSec) -> Seconds:
     """The tightest of the critical-path, port, and precedence-port bounds.
 
     ``job_precedence_port_bound`` dominates ``job_port_bound`` by
@@ -155,7 +156,7 @@ def job_lower_bound(job: Job, link_rate: float) -> float:
     )
 
 
-def job_single_stage_lower_bound(job: Job, link_rate: float) -> float:
+def job_single_stage_lower_bound(job: Job, link_rate: BytesPerSec) -> Seconds:
     """The historical bound: critical path + precedence-blind port load.
 
     Kept so regressions can pin how much the precedence-aware port term
@@ -169,10 +170,10 @@ def job_single_stage_lower_bound(job: Job, link_rate: float) -> float:
 
 
 def optimality_gaps(
-    result: SimulationResult, link_rate: float
-) -> Dict[int, float]:
+    result: SimulationResult, link_rate: BytesPerSec
+) -> Dict[int, Fraction]:
     """Measured JCT / lower bound per completed job (>= 1; 1 = optimal)."""
-    gaps: Dict[int, float] = {}
+    gaps: Dict[int, Fraction] = {}
     for job in result.jobs:
         jct = job.completion_time()
         if jct is None:
@@ -183,7 +184,7 @@ def optimality_gaps(
     return gaps
 
 
-def mean_optimality_gap(result: SimulationResult, link_rate: float) -> float:
+def mean_optimality_gap(result: SimulationResult, link_rate: BytesPerSec) -> Fraction:
     """Average measured/bound ratio across completed jobs."""
     gaps = list(optimality_gaps(result, link_rate).values())
     if not gaps:

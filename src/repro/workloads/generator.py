@@ -10,7 +10,7 @@ coflows replicated from the trace.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.jobs.builder import FlowSpec, IdAllocator, JobBuilder
@@ -20,6 +20,9 @@ from repro.workloads.fbtao import tao_shape, tao_volumes
 from repro.workloads.fbtrace import TraceCoflow, synthesize_trace
 from repro.workloads.shapes import DagShape, sample_production_shape, single
 from repro.workloads.tpcds import query42_shape, query42_volumes
+
+if TYPE_CHECKING:  # annotation-only: the workloads layer stays simulator-free
+    from repro.simulator.units import Bytes, BytesPerSec, Seconds
 
 #: Supported DAG structures.
 STRUCTURES = ("fb-tao", "tpcds", "production-mix", "single")
@@ -54,7 +57,7 @@ def remap_specs(
 
 def replicate_coflow(
     base: TraceCoflow,
-    total_bytes: float,
+    total_bytes: Bytes,
     num_hosts: int,
     rng: random.Random,
 ) -> List[FlowSpec]:
@@ -100,7 +103,7 @@ def jobs_from_trace(
     num_jobs: int,
     num_hosts: int,
     structure: str = "fb-tao",
-    arrivals: Optional[Sequence[float]] = None,
+    arrivals: Optional[Sequence[Seconds]] = None,
     seed: int = 0,
     ids: Optional[IdAllocator] = None,
 ) -> List[Job]:
@@ -164,11 +167,11 @@ def synthesize_workload(
     structure: str = "fb-tao",
     seed: int = 0,
     arrival_mode: str = "uniform",
-    duration: Optional[float] = None,
+    duration: Optional[Seconds] = None,
     offered_load: float = 1.5,
-    link_capacity: float = 10e9 / 8.0,
+    link_capacity: BytesPerSec = 10e9 / 8.0,
     burst_size: int = 10,
-    burst_gap: float = 1.0,
+    burst_gap: Seconds = 1.0,
     size_scale: float = 1.0,
     max_fanin: int = 16,
     ids: Optional[IdAllocator] = None,

@@ -1,0 +1,112 @@
+"""Shipped-tree acceptance: ``simlint --units src`` stays clean.
+
+The dimensional-analysis layer must pass over the real source tree
+modulo the committed baseline (``tools/simlint/units_baseline.json``),
+and the registry in ``tools/simlint/units.py`` must agree with the unit
+annotations actually present in the tree — drift in either direction
+fails this test the same way it fails the CI units step.  A planted
+regression (assigning a ``Bytes`` epsilon to a ``Seconds``-annotated
+global inside a registered module) must surface as SIM301 at exactly
+the planted line.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from tools.simlint.__main__ import EXIT_CLEAN, main
+from tools.simlint.baseline import (
+    apply_baseline,
+    load_baseline,
+)
+from tools.simlint.units import (
+    DEFAULT_UNITS_BASELINE_PATH,
+    UNITS_MODULES,
+    units_lint_paths,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / DEFAULT_UNITS_BASELINE_PATH
+
+
+def test_shipped_tree_units_clean_modulo_baseline():
+    report = units_lint_paths([str(REPO_ROOT / "src")])
+    outcome = apply_baseline(report.findings, load_baseline(BASELINE))
+    assert outcome.clean, (
+        "units lint drifted from the committed baseline:\n"
+        + "\n".join(
+            [f.render() for f in outcome.new_findings]
+            + [entry.render() for entry in outcome.stale]
+        )
+    )
+
+
+def test_cli_units_baseline_run_is_clean(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["--units", "src", "--baseline"])
+    assert code == EXIT_CLEAN, capsys.readouterr().out
+
+
+def test_cli_all_layers_merged_baseline_run_is_clean(capsys, monkeypatch):
+    """``--all src --baseline`` (what ``make lint`` runs) merges the
+    per-layer default baselines and must come back clean."""
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["--all", "src", "--baseline"])
+    assert code == EXIT_CLEAN, capsys.readouterr().out
+
+
+def test_committed_baseline_is_canonical():
+    """The on-disk units baseline must already be in canonical
+    serialized form (sorted keys, trailing newline) so --write-baseline
+    round-trips produce no diff noise."""
+    raw = BASELINE.read_text(encoding="utf-8")
+    document = json.loads(raw)
+    assert raw == json.dumps(document, indent=2, sort_keys=True) + "\n"
+    assert document["version"] == 1
+
+
+def test_intentional_suppressions_carry_pragmas_not_baseline():
+    """The committed baseline stays empty by policy: deliberate
+    exceptions (the NaN validity probe in experiments/parallel.py) are
+    acknowledged in place with a reasoned ``ignore[SIM3xx]`` pragma."""
+    document = load_baseline(BASELINE)
+    assert document["entries"] == []
+    report = units_lint_paths([str(REPO_ROOT / "src")])
+    assert report.suppressed >= 1
+
+
+def test_registered_modules_all_exist_on_disk():
+    """Every UNITS_MODULES entry maps to a real file, so the SIM308
+    drift check is exercising live modules rather than ghosts."""
+    for name in UNITS_MODULES:
+        relative = Path(*name.split(".")).with_suffix(".py")
+        assert (REPO_ROOT / "src" / relative).is_file(), name
+
+
+def test_planted_unit_conflict_fires_sim301(tmp_path):
+    """Regression canary: declaring a Seconds global and seeding it from
+    the Bytes volume epsilon — the exact cross-unit slip the layer was
+    built to catch — must fire SIM301 at its line."""
+    planted_src = tmp_path / "src"
+    shutil.copytree(REPO_ROOT / "src", planted_src)
+    target = planted_src / "repro" / "jobs" / "flow.py"
+    lines = target.read_text(encoding="utf-8").splitlines()
+    anchor = next(
+        index
+        for index, line in enumerate(lines)
+        if line.startswith("VOLUME_EPSILON: Bytes")
+    )
+    planted_lineno = anchor + 2  # inserted directly below, 1-based
+    lines.insert(anchor + 1, "STALL_TIMEOUT: Seconds = VOLUME_EPSILON")
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    report = units_lint_paths([str(planted_src)])
+    outcome = apply_baseline(report.findings, load_baseline(BASELINE))
+    assert [f.code for f in outcome.new_findings] == ["SIM301"]
+    finding = outcome.new_findings[0]
+    assert finding.path.endswith("jobs/flow.py")
+    assert finding.line == planted_lineno
+    assert "Seconds" in finding.message
+    assert "Bytes" in finding.message

@@ -370,9 +370,10 @@ class TestRunner:
         target.write_text("def collect(items=[]):\n    return items\n")
         assert main([str(target), "--json"]) == EXIT_FINDINGS
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] == 1
         assert [f["code"] for f in payload["findings"]] == ["SIM005"]
+        assert [f["layer"] for f in payload["findings"]] == ["file"]
 
     def test_cli_usage_exit_on_unknown_rule(self, tmp_path):
         target = tmp_path / "clean.py"

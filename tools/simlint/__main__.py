@@ -7,10 +7,14 @@ parse error.
 taint tracking + worker purity) on top of the per-file rules;
 ``--perf`` adds the hot-closure SIM201-SIM207 performance rules driven
 by the hot-path registry (``tools/simlint/hotpaths.py``);
+``--units`` adds the dimensional-analysis + streaming-discipline rules
+(SIM301-SIM308) seeded from the ``repro.simulator.units`` annotations;
+``--all`` runs every layer at once;
 ``--baseline`` subtracts a committed JSON baseline so CI fails only on
 *new* findings or on *stale* entries (baseline drift);
 ``--write-baseline`` refreshes that snapshot.  All requested layers run
-in one pass and report one merged, (path, line, rule)-sorted stream.
+in one pass — each file is parsed exactly once — and report one merged,
+(path, line, rule)-sorted stream.
 """
 
 from __future__ import annotations
@@ -41,6 +45,11 @@ from tools.simlint.runner import (
     LintReport,
     SimlintUsageError,
     lint_paths_layers,
+)
+from tools.simlint.units import (
+    ALL_UNITS_RULES,
+    ALL_UNITS_RULES_BY_CODE,
+    DEFAULT_UNITS_BASELINE_PATH,
 )
 
 EXIT_CLEAN = 0
@@ -86,15 +95,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--units",
+        action="store_true",
+        help=(
+            "run the dimensional-analysis and streaming-discipline rules "
+            "(SIM301-SIM308: mixed-unit arithmetic/comparison, unit "
+            "mismatched or erased sinks, generator materialization, "
+            "hot-loop accumulation, units-registry drift) seeded from "
+            "the repro.simulator.units annotations"
+        ),
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_layers",
+        help="run every layer (per-file + --deep + --perf + --units) in one pass",
+    )
+    parser.add_argument(
         "--baseline",
         nargs="?",
         const=_AUTO_BASELINE,
         metavar="FILE",
         help=(
             "subtract a committed JSON baseline; exit 1 on new findings "
-            "OR stale entries (drift). With no FILE, uses "
-            f"{DEFAULT_BASELINE_PATH} ({DEFAULT_PERF_BASELINE_PATH} "
-            "under --perf without --deep)"
+            "OR stale entries (drift). With no FILE, uses the default "
+            f"file of each requested layer ({DEFAULT_BASELINE_PATH}, "
+            f"{DEFAULT_PERF_BASELINE_PATH}, {DEFAULT_UNITS_BASELINE_PATH}) "
+            "merged"
         ),
     )
     parser.add_argument(
@@ -133,6 +160,7 @@ def _filtered_report(
     paths: Sequence[str],
     deep: bool,
     perf: bool,
+    units: bool,
     select: List[str],
     ignore: List[str],
 ) -> LintReport:
@@ -141,6 +169,8 @@ def _filtered_report(
         known |= set(DEEP_RULES_BY_CODE)
     if perf:
         known |= set(PERF_RULES_BY_CODE)
+    if units:
+        known |= set(ALL_UNITS_RULES_BY_CODE)
     for code in select + ignore:
         if code not in known:
             raise SimlintUsageError(
@@ -151,7 +181,7 @@ def _filtered_report(
         for rule in ALL_RULES
         if (not select or rule.code in select) and rule.code not in ignore
     )
-    report = lint_paths_layers(paths, rules=rules, deep=deep, perf=perf)
+    report = lint_paths_layers(paths, rules=rules, deep=deep, perf=perf, units=units)
     if select or ignore:
         report.findings = [
             f
@@ -196,17 +226,60 @@ def _render_baseline_outcome(
     return "\n".join(lines)
 
 
-def _resolve_baseline_path(raw: Optional[str], deep: bool, perf: bool) -> Optional[str]:
-    """Pick the default baseline file for the layers in play."""
+def _default_layer_baselines(deep: bool, perf: bool, units: bool) -> List[str]:
+    """Default baseline files for the requested layers, in load order."""
+    paths: List[str] = []
+    if deep:
+        paths.append(DEFAULT_BASELINE_PATH)
+    if perf:
+        paths.append(DEFAULT_PERF_BASELINE_PATH)
+    if units:
+        paths.append(DEFAULT_UNITS_BASELINE_PATH)
+    return paths or [DEFAULT_BASELINE_PATH]
+
+
+def _resolve_baseline_paths(
+    raw: Optional[str], deep: bool, perf: bool, units: bool
+) -> Optional[List[str]]:
+    """Files to subtract under ``--baseline`` (merged when several layers)."""
+    if raw is None:
+        return None
+    if raw != _AUTO_BASELINE:
+        return [raw]
+    return _default_layer_baselines(deep, perf, units)
+
+
+def _resolve_write_path(
+    raw: Optional[str], deep: bool, perf: bool, units: bool
+) -> Optional[str]:
+    """The single file ``--write-baseline`` refreshes.
+
+    A multi-layer auto write would have to split findings across files;
+    keep the historical behavior instead: the deep default unless
+    exactly one non-deep layer is selected.
+    """
     if raw != _AUTO_BASELINE:
         return raw
-    if perf and not deep:
+    if units and not deep and not perf:
+        return DEFAULT_UNITS_BASELINE_PATH
+    if perf and not deep and not units:
         return DEFAULT_PERF_BASELINE_PATH
     return DEFAULT_BASELINE_PATH
 
 
+def _load_merged_baseline(paths: Sequence[str]) -> dict:
+    """Load and merge one baseline document per requested layer."""
+    merged: dict = {"version": 1, "entries": []}
+    for path in paths:
+        document = load_baseline(path)
+        merged["entries"].extend(document["entries"])  # type: ignore[union-attr]
+    return merged
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.all_layers:
+        args.deep = args.perf = args.units = True
     if args.list_rules:
         for rule in ALL_RULES:
             scope = ", ".join(rule.scopes) if rule.scopes else "all files"
@@ -218,11 +291,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for perf_rule in PERF_RULES:
             print(f"{perf_rule.code}  [hot closure, --perf]")
             print(f"    {perf_rule.description}")
+        for units_rule in ALL_UNITS_RULES:
+            print(f"{units_rule.code}  [dimensional/streaming, --units]")
+            print(f"    {units_rule.description}")
         return EXIT_CLEAN
 
-    baseline_path = _resolve_baseline_path(args.baseline, args.deep, args.perf)
-    write_baseline_path = _resolve_baseline_path(
-        args.write_baseline, args.deep, args.perf
+    baseline_paths = _resolve_baseline_paths(
+        args.baseline, args.deep, args.perf, args.units
+    )
+    write_baseline_path = _resolve_write_path(
+        args.write_baseline, args.deep, args.perf, args.units
     )
 
     try:
@@ -230,6 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.paths,
             deep=args.deep,
             perf=args.perf,
+            units=args.units,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
         )
@@ -249,9 +328,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_CLEAN
 
-    if baseline_path:
+    if baseline_paths:
         try:
-            document = load_baseline(baseline_path)
+            document = _load_merged_baseline(baseline_paths)
         except BaselineError as exc:
             print(f"simlint: error: {exc}", file=sys.stderr)
             return EXIT_USAGE

@@ -29,6 +29,16 @@ _PRAGMA_RE = re.compile(
 _SKIP_FILE_WINDOW = 10
 
 
+#: Rule-code century digit -> analysis layer (SIM0xx per-file, SIM1xx
+#: deep taint, SIM2xx perf, SIM3xx units/streaming).
+_LAYER_BY_DIGIT = {"0": "file", "1": "deep", "2": "perf", "3": "units"}
+
+
+def layer_for_code(code: str) -> str:
+    """The analysis layer a rule code belongs to (``--json`` field)."""
+    return _LAYER_BY_DIGIT.get(code[3:4], "file")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
@@ -49,6 +59,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "code": self.code,
+            "layer": layer_for_code(self.code),
             "message": self.message,
         }
 

@@ -13,6 +13,7 @@ from tools.simlint.rules import ALL_RULES, RULES_BY_CODE, LintContext, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from tools.simlint.hotpaths import HotPathRegistry
+    from tools.simlint.units import UnitsRegistry
 
 
 class SimlintUsageError(Exception):
@@ -65,9 +66,11 @@ class LintReport:
         return "\n".join(lines)
 
     def render_json(self) -> str:
+        # Schema version 2: findings carry a "layer" field (file / deep /
+        # perf / units) so consumers can split the merged stream.
         return json.dumps(
             {
-                "version": 1,
+                "version": 2,
                 "files_checked": self.files_checked,
                 "suppressed": self.suppressed,
                 "findings": [finding.to_dict() for finding in self.findings],
@@ -160,21 +163,24 @@ def lint_paths_layers(
     rules: Sequence[Rule] = ALL_RULES,
     deep: bool = False,
     perf: bool = False,
+    units: bool = False,
     registry: Optional["HotPathRegistry"] = None,
+    units_registry: Optional["UnitsRegistry"] = None,
 ) -> LintReport:
     """Run any combination of simlint's layers in one unified pass.
 
     Every file is parsed exactly once: the per-file rules run on the
-    parsed tree, and when ``deep`` (SIM101-SIM106) or ``perf``
-    (SIM201-SIM207) is requested the same parsed modules are assembled
-    into one shared :class:`~tools.simlint.callgraph.Project` — not
-    re-read from disk per layer.  Findings from all layers land in one
-    stream sorted once by the canonical ``(path, line, rule, col)`` key,
-    so ``--json`` consumers and the baselines see a stable cross-layer
-    order.
+    parsed tree, and when ``deep`` (SIM101-SIM106), ``perf``
+    (SIM201-SIM207), or ``units`` (SIM301-SIM308) is requested the same
+    parsed modules are assembled into one shared
+    :class:`~tools.simlint.callgraph.Project` — not re-read from disk
+    per layer.  Findings from all layers land in one stream sorted once
+    by the canonical ``(path, line, rule, col)`` key, so ``--json``
+    consumers and the baselines see a stable cross-layer order.
 
     ``registry`` overrides the shipped hot-path registry (fixture tests);
-    it is only consulted when ``perf`` is true.
+    it is consulted by the ``perf`` and ``units`` layers (SIM307).
+    ``units_registry`` overrides the shipped SIM308 annotated-module set.
     """
     from tools.simlint.callgraph import ModuleInfo, parse_module
 
@@ -190,7 +196,7 @@ def lint_paths_layers(
         modules.append(mod)
         report.extend(_lint_parsed(source, mod.tree, path, rules))
 
-    if deep or perf:
+    if deep or perf or units:
         from tools.simlint.callgraph import Project
 
         project = Project(modules)
@@ -206,6 +212,14 @@ def lint_paths_layers(
             perf_report = perf_lint_project(project, registry=registry)
             report.findings.extend(perf_report.findings)
             report.suppressed += perf_report.suppressed
+        if units:
+            from tools.simlint.units import units_lint_project
+
+            units_report = units_lint_project(
+                project, registry=units_registry, hot_registry=registry
+            )
+            report.findings.extend(units_report.findings)
+            report.suppressed += units_report.suppressed
 
     report.findings.sort(key=FINDING_ORDER)
     return report
