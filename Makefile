@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline units-lint units-baseline typecheck ruff test test-fast coverage chaos-smoke bench bench-check gap gap-golden all
+.PHONY: lint file-lint deep-lint deep-baseline perf-lint perf-baseline units-lint units-baseline typecheck ruff test test-fast coverage chaos-smoke resume-smoke bench bench-check gap gap-golden all
 
 ## Everything static in one command: all four simlint layers in one
 ## pass (per-file SIM001-SIM006, whole-program --deep SIM101-SIM106,
@@ -90,6 +90,13 @@ chaos-smoke:
 	REPRO_INVARIANTS=strict timeout 60 $(PYTHON) -m repro chaos \
 		--jobs 10 --fattree-k 4 --profiles link-flap,hr-loss \
 		--schedulers pfs,gurita,sg-dag,lp-order
+
+## What the resume-smoke CI job runs: SIGKILL a supervised run as soon
+## as durable state hits disk, resume it from the manifest, and fail
+## unless the resumed grid's JCT fingerprint is bit-identical to an
+## uninterrupted run of the same units.
+resume-smoke:
+	$(PYTHON) benchmarks/resume_smoke.py
 
 ## What the gap-smoke CI job runs: replay the committed golden gap
 ## artifact's harness parameters and fail on fingerprint divergence.

@@ -13,6 +13,9 @@ Examples::
     python -m repro gap --check GAP_GOLDEN.json
     python -m repro trace --synthesize 200 --out /tmp/trace.txt
     python -m repro trace --stats /tmp/trace.txt
+    python -m repro trials --run-dir runs/nightly --checkpoint-every 5
+    python -m repro gap --run-dir runs/gap --run-budget 3600 --allow-partial
+    python -m repro resume runs/gap
 
 ``--parallel N`` fans independent scenario runs across N worker
 processes through :mod:`repro.experiments.parallel`; results are
@@ -23,8 +26,10 @@ across invocations.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro import __version__
 from repro.experiments.chaos import run_chaos
@@ -36,8 +41,13 @@ from repro.experiments.figures import (
     figure8_config,
     run_figure_configs,
 )
-from repro.experiments.parallel import GridReport, ProgressEvent
-from repro.experiments.trials import run_trials
+from repro.experiments.parallel import GridReport, ProgressEvent, WorkUnit
+from repro.experiments.supervisor import (
+    SupervisorReport,
+    resume_run,
+    run_supervised,
+)
+from repro.experiments.trials import TrialResult, run_trials
 from repro.metrics.report import (
     format_category_table,
     format_degradation_table,
@@ -52,6 +62,8 @@ from repro.simulator.observability import fault_counters
 from repro.theory.gap import (
     GAP_FAMILIES,
     check_gap_golden,
+    gap_report_from_grid,
+    gap_scenarios,
     golden_harness_report,
     run_gap,
 )
@@ -92,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names",
     )
     _add_fault_flags(scenario)
+    _add_supervisor_flags(scenario)
     scenario.add_argument("--out", help="write results JSON here")
 
     figure = sub.add_parser("figure", help="reproduce one paper figure")
@@ -128,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "combinatorial lower bound) across seeds",
     )
     _add_engine_flags(trials)
+    _add_supervisor_flags(trials)
 
     chaos = sub.add_parser(
         "chaos", help="compare schedulers on a faulted vs perfect fabric"
@@ -190,6 +204,35 @@ def build_parser() -> argparse.ArgumentParser:
         "fail unless the gap fingerprint matches it",
     )
     _add_engine_flags(gap)
+    _add_supervisor_flags(gap)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted supervised run from its manifest",
+    )
+    resume.add_argument(
+        "manifest",
+        help="path to a supervised run's manifest.json (or its run directory)",
+    )
+    resume.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan the remaining units across N worker processes",
+    )
+    resume.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="override the manifest's checkpoint cadence (simulated "
+        "seconds; default: the cadence recorded in the manifest)",
+    )
+    resume.add_argument(
+        "--run-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for this resume pass; at expiry pending "
+        "units are checkpointed and marked abandoned for the next resume",
+    )
+    resume.add_argument(
+        "--allow-partial", action="store_true",
+        help="exit 0 reporting per-unit statuses even if some units "
+        "remain failed/abandoned",
+    )
 
     trace = sub.add_parser("trace", help="trace tooling")
     trace.add_argument("--synthesize", type=int, metavar="N")
@@ -232,6 +275,36 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervisor_flags(sub: argparse.ArgumentParser) -> None:
+    """The crash-safe run-manager knobs (see ``repro.experiments.supervisor``)."""
+    sub.add_argument(
+        "--run-dir", default=None, metavar="PATH",
+        help="supervise the run: persist a resumable manifest, result "
+        "cache, and per-unit checkpoints under this directory",
+    )
+    sub.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="checkpoint each in-flight simulation every SECONDS of "
+        "simulated time (requires --run-dir; default: no checkpoints)",
+    )
+    sub.add_argument(
+        "--run-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole run (requires --run-dir); "
+        "at expiry pending units are checkpointed and marked abandoned, "
+        "resumable via `repro resume`",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="resume the manifest already in --run-dir instead of "
+        "building a fresh unit list from these flags",
+    )
+    sub.add_argument(
+        "--allow-partial", action="store_true",
+        help="report per-unit statuses instead of failing the whole "
+        "command when some units fail or run out of budget",
+    )
+
+
 def _print_progress(event: ProgressEvent) -> None:
     print(
         f"[{event.completed}/{event.total}] {event.kind}: "
@@ -247,12 +320,111 @@ def _engine_summary(report: GridReport) -> str:
         f"{stats.workers} worker(s), {stats.cache_hits} cache hit(s), "
         f"{stats.retries} retried, {stats.failures} failed"
     )
+    for label, count in (
+        ("worker crash(es)", stats.worker_crashes),
+        ("corrupt cache entr(ies)", stats.cache_corrupt),
+        ("abandoned on budget", stats.abandoned),
+    ):
+        if count:
+            line += f", {count} {label}"
     if stats.elapsed_seconds > 0:
         line += (
             f", {stats.elapsed_seconds:.1f}s elapsed, "
             f"utilization {stats.worker_utilization:.0%}"
         )
     return line
+
+
+def _failure_lines(report: GridReport) -> List[str]:
+    """One diagnostic line per failed unit, with per-attempt wall times."""
+    lines = []
+    for failure in report.failures:
+        times = (
+            ", ".join(f"{s:.1f}s" for s in failure.attempt_seconds)
+            if failure.attempt_seconds
+            else "no attempt launched"
+        )
+        lines.append(
+            f"  {failure.unit.describe()}: [{failure.kind}] "
+            f"{failure.attempts} attempt(s) ({times}): {failure.error}"
+        )
+    return lines
+
+
+def _jct_fingerprint(report: GridReport) -> str:
+    """blake2b-16 over every completed unit's sorted per-job JCTs.
+
+    The same scheme as ``benchmarks/fingerprint_figures.py``: any float
+    divergence in any completed simulation changes it, which is what the
+    resume-smoke check diffs against an uninterrupted run.
+    """
+    record = {}
+    for unit, outcome in zip(report.units, report.results):
+        if outcome is None:
+            continue
+        record[unit.describe()] = {
+            name: sorted(result.job_completion_times().items())
+            for name, result in sorted(outcome.results.items())
+        }
+    encoded = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(encoded.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _run_supervised_cli(
+    args: argparse.Namespace, units: Sequence[WorkUnit]
+) -> SupervisorReport:
+    """Run (or resume) the supervised grid described by ``args``."""
+    parallel = getattr(args, "parallel", 1)
+    progress = _print_progress if parallel > 1 else None
+    if args.resume:
+        return resume_run(
+            args.run_dir,
+            parallel=parallel,
+            checkpoint_every=args.checkpoint_every,
+            run_budget=args.run_budget,
+            allow_partial=args.allow_partial,
+            progress=progress,
+        )
+    return run_supervised(
+        units,
+        args.run_dir,
+        checkpoint_every=args.checkpoint_every,
+        parallel=parallel,
+        run_budget=args.run_budget,
+        allow_partial=args.allow_partial,
+        progress=progress,
+    )
+
+
+def _print_supervised_summary(outcome: SupervisorReport) -> None:
+    counts = outcome.counts()
+    summary = ", ".join(
+        f"{counts[key]} {key}"
+        for key in ("completed", "resumed", "failed", "abandoned")
+        if counts.get(key)
+    )
+    print(f"supervised: {summary or 'nothing to do'}")
+    print(_engine_summary(outcome.report))
+    for line in _failure_lines(outcome.report):
+        print(line)
+    print(f"jct fingerprint: {_jct_fingerprint(outcome.report)}")
+    if outcome.manifest_path is not None and outcome.resumable:
+        print(f"resume with: repro resume {outcome.manifest_path}")
+
+
+def _reject_unsupervised_flags(args: argparse.Namespace) -> Optional[str]:
+    """Supervisor knobs only mean something under a --run-dir."""
+    if getattr(args, "run_dir", None):
+        return None
+    for flag, name in (
+        (args.checkpoint_every, "--checkpoint-every"),
+        (args.run_budget, "--run-budget"),
+        (args.resume or None, "--resume"),
+        (args.allow_partial or None, "--allow-partial"),
+    ):
+        if flag is not None:
+            return f"{name} requires --run-dir (the supervised run directory)"
+    return None
 
 
 def cmd_info() -> int:
@@ -285,7 +457,22 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
     )
     schedulers = tuple(name.strip() for name in args.schedulers.split(","))
-    outcome = run_scenario(config, schedulers=schedulers)
+    guard = _reject_unsupervised_flags(args)
+    if guard:
+        print(guard, file=sys.stderr)
+        return 2
+    if args.run_dir:
+        sup = _run_supervised_cli(
+            args, [WorkUnit(config=config, schedulers=schedulers)]
+        )
+        _print_supervised_summary(sup)
+        if not sup.ok:
+            return 1
+        first = sup.report.results[0]
+        assert first is not None
+        outcome = first
+    else:
+        outcome = run_scenario(config, schedulers=schedulers)
     print(format_jct_table(outcome.average_jcts()))
     if args.fault_profile:
         print()
@@ -367,18 +554,45 @@ def cmd_trials(args: argparse.Namespace) -> int:
     )
     seeds = tuple(int(seed.strip()) for seed in args.seeds.split(","))
     schedulers = tuple(name.strip() for name in args.schedulers.split(","))
-    trial = run_trials(
-        config,
-        seeds=seeds,
-        schedulers=schedulers,
-        parallel=args.parallel,
-        cache_dir=args.cache_dir,
-    )
-    print(f"trials over seeds {', '.join(str(s) for s in seeds)}:")
+    guard = _reject_unsupervised_flags(args)
+    if guard:
+        print(guard, file=sys.stderr)
+        return 2
+    if args.run_dir:
+        units = [
+            WorkUnit(config=config, seed=seed, schedulers=schedulers)
+            for seed in seeds
+        ]
+        sup = _run_supervised_cli(args, units)
+        _print_supervised_summary(sup)
+        if not sup.ok:
+            return 1
+        # A resume replays the manifest's units, so read seeds and
+        # schedulers back from the report rather than trusting the flags
+        # (kept out of the `seeds` variable: the report carries the
+        # cache salt's environment taint, and `seeds` feeds run_trials).
+        shown_seeds = tuple(unit.effective_seed for unit in sup.report.units)
+        shown_schedulers = sup.report.units[0].scheduler_names()
+        trial = TrialResult(
+            config=sup.report.units[0].config,
+            outcomes=sup.report.scenario_results(),
+            report=sup.report,
+        )
+    else:
+        trial = run_trials(
+            config,
+            seeds=seeds,
+            schedulers=schedulers,
+            parallel=args.parallel,
+            cache_dir=args.cache_dir,
+        )
+        shown_seeds = seeds
+        shown_schedulers = schedulers
+    print(f"trials over seeds {', '.join(str(s) for s in shown_seeds)}:")
     print("avg JCT per policy (mean ± std):")
     for name, stats in sorted(trial.average_jct_stats().items()):
         print(f"  {name:>10}  {stats}")
-    if "gurita" in schedulers and len(schedulers) > 1:
+    if "gurita" in shown_schedulers and len(shown_schedulers) > 1:
         print("improvement of gurita (mean ± std):")
         for name, stats in sorted(trial.improvement_stats().items()):
             print(f"  {name:>10}  {stats}")
@@ -386,7 +600,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
         print("mean optimality gap per policy (mean ± std, 1.00 = optimal):")
         for name, stats in sorted(trial.gap_stats().items()):
             print(f"  {name:>10}  {stats}")
-    if trial.report is not None:
+    if trial.report is not None and not args.run_dir:
         print(_engine_summary(trial.report))
     return 0
 
@@ -438,6 +652,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_gap(args: argparse.Namespace) -> int:
     progress = _print_progress if args.parallel > 1 else None
+    guard = _reject_unsupervised_flags(args)
+    if guard:
+        print(guard, file=sys.stderr)
+        return 2
+    if args.check and args.run_dir:
+        print(
+            "--check replays a pinned harness and cannot be supervised; "
+            "drop --run-dir",
+            file=sys.stderr,
+        )
+        return 2
     if args.check:
         golden = load_json(args.check)
         report = golden_harness_report(
@@ -466,16 +691,33 @@ def cmd_gap(args: argparse.Namespace) -> int:
     families = tuple(
         name.strip() for name in args.families.split(",") if name.strip()
     )
-    report = run_gap(
-        schedulers=schedulers,
-        num_jobs=args.jobs,
-        fattree_k=args.fattree_k,
-        seed=args.seed,
-        families=families,
-        parallel=args.parallel,
-        cache_dir=args.cache_dir,
-        progress=progress,
-    )
+    if args.run_dir:
+        names = (
+            tuple(available_schedulers()) if schedulers is None else schedulers
+        )
+        scenarios = gap_scenarios(
+            num_jobs=args.jobs,
+            fattree_k=args.fattree_k,
+            seed=args.seed,
+            families=families,
+        )
+        units = [WorkUnit(config=c, schedulers=names) for c in scenarios]
+        sup = _run_supervised_cli(args, units)
+        _print_supervised_summary(sup)
+        if not sup.ok:
+            return 1
+        report = gap_report_from_grid(sup.report)
+    else:
+        report = run_gap(
+            schedulers=schedulers,
+            num_jobs=args.jobs,
+            fattree_k=args.fattree_k,
+            seed=args.seed,
+            families=families,
+            parallel=args.parallel,
+            cache_dir=args.cache_dir,
+            progress=progress,
+        )
     report.validate()
     print(report.format_table())
     worst = report.worst_cell()
@@ -484,12 +726,25 @@ def cmd_gap(args: argparse.Namespace) -> int:
         f"(mean {worst.mean_gap:.3f}x, max {worst.max_gap:.3f}x)"
     )
     print(f"fingerprint: {report.fingerprint()}")
-    if report.grid is not None:
+    if report.grid is not None and not args.run_dir:
         print(_engine_summary(report.grid))
     if args.out:
         path = save_json(report.to_golden(), args.out)
         print(f"wrote {path}")
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    outcome = resume_run(
+        args.manifest,
+        parallel=args.parallel,
+        checkpoint_every=args.checkpoint_every,
+        run_budget=args.run_budget,
+        allow_partial=args.allow_partial,
+        progress=_print_progress if args.parallel > 1 else None,
+    )
+    _print_supervised_summary(outcome)
+    return 0 if outcome.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -524,6 +779,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_chaos(args)
     if args.command == "gap":
         return cmd_gap(args)
+    if args.command == "resume":
+        return cmd_resume(args)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -68,6 +68,24 @@ class GridExecutionError(ExperimentError):
         self.failures = failures
 
 
+class CheckpointError(SimulationError):
+    """A simulator checkpoint could not be written, read, or restored.
+
+    Raised for schema-version mismatches, fingerprint (integrity)
+    failures on read, and attempts to restore a snapshot into an
+    incompatible component (wrong queue variant, wrong scheduler class).
+    """
+
+
+class ManifestError(ExperimentError):
+    """A supervised-run manifest is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.experiments.supervisor` when a resume is
+    requested from a manifest whose schema version, salt, or unit
+    fingerprints no longer match what the current code would produce.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload description or trace file is invalid."""
 

@@ -55,6 +55,7 @@ import pickle
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -258,8 +259,13 @@ class ResultCache:
     Entries are pickle payloads (``{"format", "fingerprint", "result"}``)
     written atomically.  The fingerprint embeds the salt, so version
     bumps change the key and naturally invalidate: stale entries are
-    simply never looked up again.  A file that fails to unpickle, fails
-    validation, or carries a mismatched fingerprint degrades to a miss.
+    simply never looked up again.  A *format* mismatch (version skew, a
+    legitimately old entry) degrades to a plain miss; an entry that
+    exists but fails to unpickle, fails validation, or carries a
+    mismatched fingerprint is **quarantined** — renamed to
+    ``<key>.corrupt`` and counted in :attr:`corrupt_entries` — so a
+    damaged file is inspected once instead of silently re-missing on
+    every run, and the slot is free for an atomic rewrite.
     """
 
     def __init__(
@@ -267,6 +273,9 @@ class ResultCache:
     ) -> None:
         self.root = Path(root)
         self.salt = salt if salt is not None else default_cache_salt()
+        #: corrupt entries quarantined by :meth:`load` over this
+        #: instance's lifetime (surfaced as ``GridStats.cache_corrupt``)
+        self.corrupt_entries = 0
 
     def path_for(self, unit: WorkUnit) -> Path:
         # The REPRO_CACHE_SALT env override feeding self.salt is the
@@ -274,23 +283,39 @@ class ResultCache:
         # and never reaches unit seeds or results.
         return self.root / f"{unit.fingerprint(self.salt)}.pkl"  # simlint: ignore[SIM103]
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside (best effort; miss either way)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return  # a concurrent reader may have renamed it already
+        self.corrupt_entries += 1
+
     def load(self, unit: WorkUnit) -> Optional[ScenarioResult]:
         path = self.path_for(unit)
         try:
-            payload = pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            raw = path.read_bytes()
+        except OSError:
+            return None  # plain miss: nothing on disk for this key
+        try:
+            payload = pickle.loads(raw)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
+            self._quarantine(path)  # truncated or garbled bytes
             return None
         if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         if payload.get("format") != CACHE_FORMAT:
-            return None
+            return None  # version skew, not damage: a plain miss
         # Salt in the stored fingerprint: namespace check only (see path_for).
         if payload.get("fingerprint") != unit.fingerprint(self.salt):  # simlint: ignore[SIM103]
+            self._quarantine(path)  # entry does not match its own key
             return None
         try:
             return validate_unit_result(unit, payload.get("result"))
         except UnitResultError:
+            self._quarantine(path)
             return None
 
     def store(self, unit: WorkUnit, result: ScenarioResult) -> Path:
@@ -323,9 +348,15 @@ class UnitFailure:
     error: str
     traceback: str
     attempts: int
-    #: "error" (raised / failed validation) or "timeout" (attempt killed
-    #: after exceeding the grid's per-unit wall-clock budget)
+    #: "error" (raised / failed validation), "timeout" (attempt killed
+    #: after exceeding the per-unit wall-clock budget), "crash" (worker
+    #: process died mid-attempt and retries ran out), or "budget" (the
+    #: grid's run budget expired before the unit could finish)
     kind: str = "error"
+    #: wall-clock seconds of every observed attempt, in attempt order —
+    #: including attempts voided by a pool rebuild (their wall time was
+    #: genuinely spent).  Empty when no attempt was launched at all.
+    attempt_seconds: List[float] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -336,6 +367,7 @@ class UnitFailure:
             "error": self.error,
             "kind": self.kind,
             "attempts": self.attempts,
+            "attempt_seconds": list(self.attempt_seconds),
             "traceback": self.traceback,
         }
 
@@ -347,11 +379,18 @@ class GridStats:
     total_units: int = 0
     completed: int = 0  #: units with a result (cache hits included)
     cache_hits: int = 0
+    #: corrupt cache entries quarantined during the cache pass
+    cache_corrupt: int = 0
     retries: int = 0
     failures: int = 0
     #: failures caused by the per-unit wall-clock timeout (subset of
     #: ``failures``); each one killed and rebuilt the worker pool
     timeouts: int = 0
+    #: worker-process deaths detected (pool rebuilt, victims resubmitted)
+    worker_crashes: int = 0
+    #: units abandoned because the grid's wall-clock run budget expired
+    #: (subset of ``failures``; recorded as ``kind="budget"``)
+    abandoned: int = 0
     workers: int = 1
     #: summed per-unit wall time measured inside the workers (host clock)
     unit_seconds: float = 0.0
@@ -371,7 +410,9 @@ class GridStats:
 class ProgressEvent:
     """One engine progress tick, streamed to the ``progress`` hook."""
 
-    kind: str  #: "cache-hit" | "done" | "retry" | "failed" | "timeout"
+    #: "cache-hit" | "done" | "retry" | "failed" | "timeout" |
+    #: "crash" | "abandoned"
+    kind: str
     index: int
     unit: WorkUnit
     completed: int
@@ -464,6 +505,26 @@ def _make_executor(workers: int, use_threads: bool) -> Executor:
 #: are reporting-only and never feed simulation state).
 _sleep = host_sleep
 
+#: Namespace for the deterministic retry-jitter stream (bump on change).
+_RETRY_JITTER_NAMESPACE = "repro.retry-jitter.v1"
+
+
+def retry_jitter(unit: WorkUnit, attempt: int) -> float:
+    """Deterministic backoff multiplier in ``[0.5, 1.5)`` for one retry.
+
+    A blake2b hash over the unit's identity seed and the attempt number —
+    a pure function of the unit, never of host state — so resubmitted
+    workers spread out instead of retrying in lockstep (the thundering
+    herd after a shared-resource hiccup), while the same grid replays
+    with an identical backoff schedule every time.  The stream only
+    shapes *when* a retry launches; results never depend on it.
+    """
+    digest = hashlib.blake2b(
+        f"{_RETRY_JITTER_NAMESPACE}|{unit.derived_seed}|{attempt}".encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return 0.5 + int.from_bytes(digest, "big") / 2.0**64
+
 
 def run_grid(
     units: Sequence[WorkUnit],
@@ -477,6 +538,7 @@ def run_grid(
     use_threads: bool = False,
     progress: Optional[ProgressHook] = None,
     clock: Optional[Callable[[], float]] = None,
+    budget: Optional[float] = None,
 ) -> GridReport:
     """Execute a grid of work units, fanned across ``parallel`` workers.
 
@@ -485,16 +547,24 @@ def run_grid(
     result cache; ``retries`` bounds re-execution of failing units (the
     default is exactly one retry) and ``backoff_base`` spaces the
     attempts exponentially (the k-th retry waits ``backoff_base *
-    2**(k-1)`` seconds; 0 retries immediately); ``unit_timeout`` bounds
-    each attempt's wall-clock seconds — an attempt that exceeds it is
-    recorded as a ``UnitFailure(kind="timeout")`` without retrying, and
-    with a process pool the hung workers are killed, the pool rebuilt,
-    and surviving in-flight units resubmitted (thread and inline
-    executors cannot be killed; their hung attempt is abandoned and its
-    eventual result discarded); ``use_threads`` swaps the process pool
-    for threads (used by fault-injection tests to share state with a
-    custom ``run_unit``); ``clock`` injects the host clock used for
-    reporting-only timings.
+    2**(k-1)`` seconds scaled by the unit's deterministic
+    :func:`retry_jitter`; 0 retries immediately); ``unit_timeout``
+    bounds each attempt's wall-clock seconds — an attempt that exceeds
+    it is recorded as a ``UnitFailure(kind="timeout")`` without
+    retrying, and with a process pool the hung workers are killed, the
+    pool rebuilt, and surviving in-flight units resubmitted (thread and
+    inline executors cannot be killed; their hung attempt is abandoned
+    and its eventual result discarded); a worker process that *dies*
+    mid-attempt (OOM kill, segfault) is detected, the pool rebuilt, and
+    every interrupted unit re-attempted against its retry allowance
+    (exhausted ones land as ``kind="crash"``); ``use_threads`` swaps the
+    process pool for threads (used by fault-injection tests to share
+    state with a custom ``run_unit``); ``clock`` injects the host clock
+    used for reporting-only timings; ``budget`` bounds the whole grid's
+    wall-clock seconds — at expiry, nothing new launches and every
+    pending unit is recorded as ``kind="budget"`` (``stats.abandoned``)
+    so a supervised run can checkpoint-then-stop instead of overrunning
+    its slot.
     """
     units = list(units)
     tick = clock if clock is not None else host_clock
@@ -509,6 +579,10 @@ def run_grid(
         raise ExperimentError(
             f"unit_timeout must be positive, got {unit_timeout}"
         )
+    if budget is not None and budget <= 0:
+        raise ExperimentError(f"budget must be positive, got {budget}")
+    budget_deadline = started + budget if budget is not None else None
+    corrupt_before = cache.corrupt_entries if cache is not None else 0
     stats = GridStats(total_units=len(units), workers=max(1, parallel))
     results: List[Optional[ScenarioResult]] = [None] * len(units)
     failures: List[UnitFailure] = []
@@ -542,8 +616,15 @@ def run_grid(
         in_flight: Dict["Future[Tuple[ScenarioResult, float]]", Tuple[int, int]] = {}
         #: wall-clock deadline per in-flight attempt (unit_timeout only)
         deadlines: Dict["Future[Tuple[ScenarioResult, float]]", float] = {}
+        #: launch timestamp per in-flight attempt (attempt_seconds source)
+        launched: Dict["Future[Tuple[ScenarioResult, float]]", float] = {}
         #: backoff-delayed retries waiting to launch: (ready_time, index, attempt)
         retry_queue: List[Tuple[float, int, int]] = []
+        #: observed wall time of every attempt, per unit index
+        attempt_log: Dict[int, List[float]] = {}
+
+        def log_attempt(index: int, seconds: float) -> None:
+            attempt_log.setdefault(index, []).append(seconds)
 
         def submit(index: int, attempt: int) -> None:
             try:
@@ -556,12 +637,14 @@ def run_grid(
                         error=f"{type(exc).__name__}: {exc}",
                         traceback=traceback_module.format_exc(),
                         attempts=attempt,
+                        attempt_seconds=attempt_log.get(index, []),
                     )
                 )
                 stats.failures += 1
                 notify("failed", index)
             else:
                 in_flight[future] = (index, attempt)
+                launched[future] = tick()
                 if unit_timeout is not None:
                     deadlines[future] = tick() + unit_timeout
 
@@ -569,10 +652,38 @@ def run_grid(
             stats.retries += 1
             notify("retry", index)
             delay = backoff_base * 2.0 ** (attempt - 1) if backoff_base > 0 else 0.0
+            if delay > 0.0:
+                # Deterministic per-unit jitter keeps resubmissions from
+                # retrying in lockstep while staying replayable.
+                delay *= retry_jitter(units[index], attempt)
             if delay <= 0.0:
                 submit(index, attempt=attempt + 1)
             else:
                 retry_queue.append((tick() + delay, index, attempt + 1))
+
+        def drain_pool() -> List[Tuple[int, int]]:
+            """Kill the pool's processes; returns the voided attempts.
+
+            Every in-flight attempt is logged (its wall time was spent)
+            and cleared; the executor is rebuilt.  Thread and inline
+            executors have no processes to kill but are still swapped so
+            the caller can resubmit uniformly.
+            """
+            nonlocal executor
+            now = tick()
+            victims: List[Tuple[int, int]] = []
+            for future, (vindex, vattempt) in in_flight.items():
+                victims.append((vindex, vattempt))
+                log_attempt(vindex, now - launched.get(future, now))
+            in_flight.clear()
+            deadlines.clear()
+            launched.clear()
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                process.terminate()
+            executor.shutdown(wait=False)
+            executor = _make_executor(parallel, use_threads)
+            return sorted(victims)
 
         def kill_hung_workers() -> None:
             """Tear down the pool under the hung attempts, then rebuild.
@@ -583,24 +694,76 @@ def run_grid(
             timeout budget reset — the units are pure, so a rerun is
             safe).  Thread and inline executors have nothing to kill.
             """
-            nonlocal executor
             if not isinstance(executor, ProcessPoolExecutor):
                 return
-            survivors = sorted(in_flight.values())
-            in_flight.clear()
-            deadlines.clear()
-            for process in list(getattr(executor, "_processes", {}).values()):
-                process.terminate()
-            executor.shutdown(wait=False)
-            executor = _make_executor(parallel, use_threads)
-            for index, attempt in survivors:
+            for index, attempt in drain_pool():
                 submit(index, attempt)
+
+        def recover_from_crash(first_index: int, first_attempt: int) -> None:
+            """A worker process died: rebuild the pool, re-attempt victims.
+
+            Every future on the broken pool fails together, so all
+            in-flight attempts are voided and re-attempted against their
+            retry allowance; units that exhausted it are recorded as
+            ``kind="crash"`` — the structured taxonomy a supervisor needs
+            to tell a dead worker from a bad unit.
+            """
+            stats.worker_crashes += 1
+            victims = sorted(set([(first_index, first_attempt)] + drain_pool()))
+            for index, attempt in victims:
+                if attempt <= retries:
+                    schedule_retry(index, attempt)
+                else:
+                    failures.append(
+                        UnitFailure(
+                            index=index,
+                            unit=units[index],
+                            error=(
+                                "worker process died mid-attempt "
+                                "(pool was rebuilt)"
+                            ),
+                            traceback="",
+                            attempts=attempt,
+                            kind="crash",
+                            attempt_seconds=attempt_log.get(index, []),
+                        )
+                    )
+                    stats.failures += 1
+                    notify("crash", index)
+
+        def abandon_pending() -> None:
+            """The run budget expired: record everything pending, stop."""
+            nonlocal retry_queue
+            pending = drain_pool()
+            pending += [(index, attempt - 1) for _, index, attempt in retry_queue]
+            retry_queue = []
+            for index, attempt in sorted(pending):
+                failures.append(
+                    UnitFailure(
+                        index=index,
+                        unit=units[index],
+                        error=(
+                            f"grid run budget of {budget}s expired before "
+                            "this unit completed"
+                        ),
+                        traceback="",
+                        attempts=attempt,
+                        kind="budget",
+                        attempt_seconds=attempt_log.get(index, []),
+                    )
+                )
+                stats.failures += 1
+                stats.abandoned += 1
+                notify("abandoned", index)
 
         try:
             for index in to_run:
                 submit(index, attempt=1)
 
             while in_flight or retry_queue:
+                if budget_deadline is not None and tick() >= budget_deadline:
+                    abandon_pending()
+                    break
                 # Launch every backoff-delayed retry whose time has come.
                 if retry_queue:
                     now = tick()
@@ -610,7 +773,10 @@ def run_grid(
                         submit(index, attempt)
                 if not in_flight:
                     if retry_queue:
-                        _sleep(max(0.0, min(r[0] for r in retry_queue) - tick()))
+                        wake_at = min(r[0] for r in retry_queue)
+                        if budget_deadline is not None:
+                            wake_at = min(wake_at, budget_deadline)
+                        _sleep(max(0.0, wake_at - tick()))
                     continue
 
                 wait_timeout: Optional[float] = None
@@ -624,18 +790,34 @@ def run_grid(
                         if wait_timeout is None
                         else min(wait_timeout, until_retry)
                     )
+                if budget_deadline is not None:
+                    until_budget = max(0.0, budget_deadline - now)
+                    wait_timeout = (
+                        until_budget
+                        if wait_timeout is None
+                        else min(wait_timeout, until_budget)
+                    )
                 done, _ = wait(
                     set(in_flight),
                     timeout=wait_timeout,
                     return_when=FIRST_COMPLETED,
                 )
                 for future in done:
+                    if future not in in_flight:
+                        continue  # voided by a pool rebuild this sweep
                     index, attempt = in_flight.pop(future)
                     deadlines.pop(future, None)
+                    now = tick()
+                    elapsed = now - launched.pop(future, now)
                     try:
                         payload, seconds = future.result()
                         validate_unit_result(units[index], payload)
+                    except BrokenProcessPool:
+                        log_attempt(index, elapsed)
+                        recover_from_crash(index, attempt)
+                        break  # in_flight was voided; re-enter the wait loop
                     except Exception as exc:  # raised in worker or validation
+                        log_attempt(index, elapsed)
                         if attempt <= retries:
                             schedule_retry(index, attempt)
                         else:
@@ -650,11 +832,13 @@ def run_grid(
                                         )
                                     ),
                                     attempts=attempt,
+                                    attempt_seconds=attempt_log.get(index, []),
                                 )
                             )
                             stats.failures += 1
                             notify("failed", index)
                     else:
+                        log_attempt(index, seconds)
                         results[index] = payload
                         stats.completed += 1
                         stats.unit_seconds += seconds
@@ -673,6 +857,7 @@ def run_grid(
                     for (index, attempt), future in expired:
                         in_flight.pop(future, None)
                         deadlines.pop(future, None)
+                        log_attempt(index, now - launched.pop(future, now))
                         future.cancel()  # no-op once running; frees queued ones
                         failures.append(
                             UnitFailure(
@@ -685,6 +870,7 @@ def run_grid(
                                 traceback="",
                                 attempts=attempt,
                                 kind="timeout",
+                                attempt_seconds=attempt_log.get(index, []),
                             )
                         )
                         stats.failures += 1
@@ -696,6 +882,8 @@ def run_grid(
             executor.shutdown(wait=True)
 
     failures.sort(key=lambda f: f.index)
+    if cache is not None:
+        stats.cache_corrupt = cache.corrupt_entries - corrupt_before
     stats.elapsed_seconds = tick() - started
     return GridReport(
         units=units, results=results, failures=failures, stats=stats
@@ -730,6 +918,7 @@ __all__ = [
     "derive_unit_seed",
     "execute_unit",
     "grid_of",
+    "retry_jitter",
     "run_grid",
     "validate_unit_result",
 ]

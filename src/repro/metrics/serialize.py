@@ -103,6 +103,9 @@ def grid_report_to_dict(report: "GridReport") -> Dict[str, Any]:
             "retries": stats.retries,
             "failures": stats.failures,
             "workers": stats.workers,
+            "cache_corrupt": stats.cache_corrupt,
+            "worker_crashes": stats.worker_crashes,
+            "abandoned": stats.abandoned,
             "unit_seconds": stats.unit_seconds,
             "elapsed_seconds": stats.elapsed_seconds,
             "worker_utilization": stats.worker_utilization,

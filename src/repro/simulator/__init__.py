@@ -5,6 +5,12 @@ from repro.simulator.bandwidth import (
     AllocationMode,
     AllocationRequest,
 )
+from repro.simulator.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    read_checkpoint,
+    restore_simulation,
+    write_checkpoint,
+)
 from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.observability import NetworkProbe
 from repro.simulator.routing import EcmpRouter, flow_hash
@@ -24,6 +30,7 @@ __all__ = [
     "AllocationMode",
     "AllocationRequest",
     "BigSwitchTopology",
+    "CHECKPOINT_SCHEMA",
     "CoflowSimulation",
     "DEFAULT_NUM_CLASSES",
     "EcmpRouter",
@@ -36,5 +43,8 @@ __all__ = [
     "TEN_GBPS",
     "Topology",
     "flow_hash",
+    "read_checkpoint",
+    "restore_simulation",
     "simulate",
+    "write_checkpoint",
 ]

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 import math
 from bisect import insort
 from typing import Any, Dict, List, Optional, Tuple
@@ -106,7 +105,9 @@ class EventQueueBase:
     """
 
     def __init__(self) -> None:
-        self._seq = itertools.count()
+        #: Next sequence number; a plain int (not itertools.count) so the
+        #: counter can be captured and restored by checkpoint snapshots.
+        self._next_seq = 0
         self._size = 0
         #: Latest popped timestamp; pushes may not schedule behind it.
         self._watermark = -math.inf
@@ -121,6 +122,45 @@ class EventQueueBase:
     def peek_time(self) -> Optional[Seconds]:
         """Timestamp of the earliest event, or None if empty."""
         raise NotImplementedError
+
+    def _storage_state(self) -> Dict[str, Any]:
+        """Subclass storage payload for :meth:`snapshot_state`."""
+        raise NotImplementedError
+
+    def _restore_storage(self, state: Dict[str, Any]) -> None:
+        """Subclass inverse of :meth:`_storage_state`."""
+        raise NotImplementedError
+
+    # -- checkpoint support --------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture the complete queue state for a checkpoint.
+
+        The payload is picklable (plain containers + :class:`Event`
+        objects) and round-trips through :meth:`restore_state` to a
+        queue that pops the exact same ``(time, kind, seq)`` order —
+        including the monotonic watermark and the sequence counter, so
+        events scheduled *after* a restore continue the original
+        numbering bit-for-bit.
+        """
+        return {
+            "variant": type(self).__name__,
+            "next_seq": self._next_seq,
+            "size": self._size,
+            "watermark": self._watermark,
+            "storage": self._storage_state(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot_state` (same concrete class only)."""
+        if state.get("variant") != type(self).__name__:
+            raise SimulationError(
+                f"queue snapshot is for {state.get('variant')!r}, "
+                f"cannot restore into {type(self).__name__!r}"
+            )
+        self._next_seq = state["next_seq"]
+        self._size = state["size"]
+        self._watermark = state["watermark"]
+        self._restore_storage(state["storage"])
 
     # -- shared semantics ----------------------------------------------
     @hot_path
@@ -144,9 +184,9 @@ class EventQueueBase:
                 f"cannot schedule event at t={time!r} behind the pop "
                 f"watermark t={self._watermark!r}"
             )
-        event = Event(
-            time=time, kind=kind, seq=next(self._seq), payload=payload, epoch=epoch
-        )
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time=time, kind=kind, seq=seq, payload=payload, epoch=epoch)
         self._store(event)
         self._size += 1
         return event
@@ -211,6 +251,14 @@ class EventQueue(EventQueueBase):
             return None
         return self._heap[0][0]
 
+    def _storage_state(self) -> Dict[str, Any]:
+        # A heap list is already a deterministic structure; copy it so
+        # later pushes on the live queue don't mutate the snapshot.
+        return {"heap": list(self._heap)}
+
+    def _restore_storage(self, state: Dict[str, Any]) -> None:
+        self._heap = list(state["heap"])
+
 
 class BucketEventQueue(EventQueueBase):
     """Calendar-style queue bucketing events that share one timestamp.
@@ -270,6 +318,21 @@ class BucketEventQueue(EventQueueBase):
         if not self._times:
             return None
         return self._times[0]
+
+    def _storage_state(self) -> Dict[str, Any]:
+        # Shallow-copy each level: the timestamp heap, every bucket list,
+        # and the drain cursors.  Events themselves are shared (treated
+        # as immutable by the queue contract).
+        return {
+            "times": list(self._times),
+            "buckets": {time: list(rows) for time, rows in self._buckets.items()},
+            "cursors": dict(self._cursors),
+        }
+
+    def _restore_storage(self, state: Dict[str, Any]) -> None:
+        self._times = list(state["times"])
+        self._buckets = {time: list(rows) for time, rows in state["buckets"].items()}
+        self._cursors = dict(state["cursors"])
 
 
 #: Queue variants selectable by configuration; "heap" is the default.

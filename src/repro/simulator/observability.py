@@ -110,6 +110,9 @@ def parallel_counters(report: "GridReport") -> Dict[str, float]:
         "retries": float(stats.retries),
         "failures": float(stats.failures),
         "workers": float(stats.workers),
+        "cache_corrupt": float(stats.cache_corrupt),
+        "worker_crashes": float(stats.worker_crashes),
+        "abandoned": float(stats.abandoned),
         "unit_seconds": stats.unit_seconds,
         "elapsed_seconds": stats.elapsed_seconds,
         "worker_utilization": stats.worker_utilization,

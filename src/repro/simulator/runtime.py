@@ -18,8 +18,9 @@ Event loop invariants:
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Union
 
 from repro.errors import NoPathError, SimulationError
 from repro.jobs.coflow import Coflow
@@ -137,9 +138,19 @@ class CoflowSimulation:
         strict_invariants: Optional[bool] = None,
         faults: Optional[FaultProfile] = None,
         event_queue: str = "heap",
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: Union[str, "os.PathLike[str]", None] = None,
     ) -> None:
         if not jobs:
             raise SimulationError("simulation needs at least one job")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise SimulationError(
+                f"checkpoint_every must be positive, got {checkpoint_every!r}"
+            )
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise SimulationError(
+                "checkpoint_every requires a checkpoint_path to write to"
+            )
         self.topology = topology
         self.scheduler = scheduler
         self.router = router if router is not None else EcmpRouter(topology)
@@ -222,26 +233,46 @@ class CoflowSimulation:
         #: into the next round's priority delta so delta-reporting
         #: policies do not leave them misfiled in the lowest class
         self._forced_priority_delta: Set[int] = set()
+        #: True once :meth:`run` has scheduled arrivals, the first update
+        #: round, and the fault timeline; a restored simulation comes back
+        #: with this set so resuming never re-bootstraps.
+        self._started = False
+        #: checkpoint cadence (simulated seconds; None = checkpointing off,
+        #: the default — a zero-checkpoint run takes none of these paths)
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self._last_checkpoint_at = 0.0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> SimulationResult:
-        """Run to completion (or to ``until`` seconds of simulated time)."""
-        for job in self.jobs.values():
-            self._queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
-        interval = self.scheduler.update_interval
-        if interval is not None and interval > 0:
-            first = min(job.arrival_time for job in self.jobs.values())
-            self._queue.push(first + interval, EventKind.SCHEDULER_UPDATE)
-            self._update_scheduled = True
-        if self.fault_injector is not None:
-            # The whole timeline is scheduled up front (it is a pure
-            # function of the profile), so every fault/repair sits ahead
-            # of the pop watermark by construction.
-            for action in self.fault_injector.timeline:
-                kind = EventKind.REPAIR if action.is_repair else EventKind.FAULT
-                self._queue.push(action.time, kind, payload=action)
+        """Run to completion (or to ``until`` seconds of simulated time).
+
+        The bootstrap — arrival events, the first coordination round,
+        the prescheduled fault timeline — happens exactly once: a
+        simulation restored from a checkpoint (or re-entered after an
+        ``until``-bounded return) resumes the event loop where it
+        stopped instead of re-scheduling anything.
+        """
+        if not self._started:
+            self._started = True
+            for job in self.jobs.values():
+                self._queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
+            interval = self.scheduler.update_interval
+            if interval is not None and interval > 0:
+                first = min(job.arrival_time for job in self.jobs.values())
+                self._queue.push(first + interval, EventKind.SCHEDULER_UPDATE)
+                self._update_scheduled = True
+            if self.fault_injector is not None:
+                # The whole timeline is scheduled up front (it is a pure
+                # function of the profile), so every fault/repair sits ahead
+                # of the pop watermark by construction.
+                for action in self.fault_injector.timeline:
+                    kind = EventKind.REPAIR if action.is_repair else EventKind.FAULT
+                    self._queue.push(action.time, kind, payload=action)
 
         while self._queue and self._incomplete_jobs > 0:
             next_time = self._queue.peek_time()
@@ -253,6 +284,12 @@ class CoflowSimulation:
                     f"exceeded max_events={self.max_events}; "
                     "likely a starved flow with no rate (check the policy)"
                 )
+            if (
+                self._checkpoint_every is not None
+                and self._now - self._last_checkpoint_at >= self._checkpoint_every
+                and self._incomplete_jobs > 0
+            ):
+                self._write_checkpoint()
 
         if self._incomplete_jobs > 0 and until is None:
             parked = f", {len(self._parked)} flows parked" if self._parked else ""
@@ -289,6 +326,121 @@ class CoflowSimulation:
     @property
     def now(self) -> float:
         return self._now
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    #: Every attribute captured verbatim by :meth:`snapshot_state`.
+    #: The queue, scheduler, and engine go through their own
+    #: ``snapshot_state`` contracts; ``_debug`` is recomputed on restore
+    #: (logger configuration is host state, not simulation state); the
+    #: checkpoint cadence settings are supplied fresh by the restore
+    #: call.  Enumerating fields explicitly — instead of ``__dict__`` —
+    #: also keeps observability probes (which monkeypatch bound methods
+    #: like ``_reallocate`` onto the instance) out of snapshots: probes
+    #: are host-side instrumentation and do not survive a checkpoint.
+    _SNAPSHOT_FIELDS = (
+        "topology",
+        "router",
+        "max_events",
+        "jobs",
+        "coflows",
+        "flows",
+        "_job_bytes",
+        "_job_of_flow",
+        "_capacities",
+        "_nominal_caps",
+        "invariants",
+        "_active",
+        "_now",
+        "_epoch",
+        "_events_processed",
+        "_reallocations",
+        "_epochs_skipped",
+        "_incomplete_jobs",
+        "_update_scheduled",
+        "fault_injector",
+        "_parked",
+        "_parked_since",
+        "_hr_round",
+        "_forced_priority_delta",
+        "_started",
+    )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture the complete simulation state for a checkpoint.
+
+        The returned payload is meant to be pickled **whole, in one
+        pass** (see :mod:`repro.simulator.checkpoint`): cross-component
+        reference sharing — the fault injector's live downed-link set
+        aliased by the router, the scheduler context's views onto the
+        job/coflow/progress dicts — is preserved by pickle's memo, so a
+        restored simulation has exactly the original aliasing without
+        any manual rewiring.
+        """
+        return {
+            "fields": {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS},
+            "queue": {
+                "class": type(self._queue),
+                "state": self._queue.snapshot_state(),
+            },
+            "scheduler": {
+                "class": type(self.scheduler),
+                "state": self.scheduler.snapshot_state(),
+            },
+            "engine": (
+                self.engine.snapshot_state() if self.engine is not None else None
+            ),
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        state: Dict[str, Any],
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: Union[str, "os.PathLike[str]", None] = None,
+    ) -> "CoflowSimulation":
+        """Rebuild a mid-run simulation from a :meth:`snapshot_state` payload.
+
+        ``checkpoint_every``/``checkpoint_path`` configure the restored
+        run's *own* cadence (they are host policy, not snapshot state);
+        leave them unset to resume without further checkpointing.
+        """
+        sim = cls.__new__(cls)
+        for name, value in state["fields"].items():
+            setattr(sim, name, value)
+        queue_cls = state["queue"]["class"]
+        queue: EventQueueBase = queue_cls()
+        queue.restore_state(state["queue"]["state"])
+        sim._queue = queue
+        scheduler_cls = state["scheduler"]["class"]
+        scheduler = scheduler_cls.__new__(scheduler_cls)
+        scheduler.restore_state(state["scheduler"]["state"])
+        sim.scheduler = scheduler
+        if state["engine"] is None:
+            sim.engine = None
+        else:
+            engine = AllocationState.__new__(AllocationState)
+            engine.restore_state(state["engine"])
+            sim.engine = engine
+        # Host-side attributes, recomputed rather than restored.
+        sim._debug = _LOG.isEnabledFor(logging.DEBUG)
+        sim._checkpoint_every = checkpoint_every
+        sim._checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path is not None else None
+        )
+        sim._last_checkpoint_at = sim._now
+        return sim
+
+    def _write_checkpoint(self) -> None:
+        """Write one atomic checkpoint at the current simulated time."""
+        # Imported lazily: the checkpoint module imports this one, and a
+        # zero-checkpoint run never needs it at all.
+        from repro.simulator.checkpoint import write_checkpoint
+
+        assert self._checkpoint_path is not None
+        write_checkpoint(self, self._checkpoint_path)
+        self._last_checkpoint_at = self._now
 
     # ------------------------------------------------------------------
     # Event processing
@@ -744,9 +896,12 @@ def simulate(
     use_engine: bool = True,
     faults: Optional[FaultProfile] = None,
     event_queue: str = "heap",
+    checkpoint_every: Optional[float] = None,
+    checkpoint_path: Union[str, "os.PathLike[str]", None] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`CoflowSimulation` and run it."""
     return CoflowSimulation(
         topology, scheduler, jobs, router=router, use_engine=use_engine,
         faults=faults, event_queue=event_queue,
+        checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_path,
     ).run(until=until)

@@ -314,6 +314,18 @@ def run_gap(
         WorkUnit(config=config, schedulers=names) for config in scenarios
     ]
     grid = run_grid(units, parallel=parallel, cache_dir=cache_dir, progress=progress)  # simlint: ignore[SIM106] (default worker bumps the benchmark rebuild counter; write-only instrumentation)
+    return gap_report_from_grid(grid)
+
+
+def gap_report_from_grid(grid: "GridReport") -> GapReport:
+    """Assemble a :class:`GapReport` from a completed harness grid.
+
+    The grid's own units carry everything needed (scenario configs and
+    the scheduler set), so this also works for grids executed elsewhere —
+    e.g. a supervised/resumed run replaying the same harness units.
+    """
+    scenarios = [unit.config for unit in grid.units]
+    names = grid.units[0].scheduler_names() if grid.units else ()
     report = GapReport(scenarios=scenarios, schedulers=names, grid=grid)
     for config, outcome in zip(scenarios, grid.scenario_results()):
         link_rate = scenario_link_rate(config)
@@ -396,6 +408,7 @@ __all__ = [
     "GapViolationError",
     "check_gap_golden",
     "gap_cell",
+    "gap_report_from_grid",
     "gap_scenarios",
     "golden_harness_report",
     "run_gap",

@@ -1,8 +1,9 @@
 """Failure-isolation hardening of the parallel grid engine.
 
-Covers the robustness additions: exponential retry backoff, the
-per-unit wall-clock timeout, hung-worker termination with pool rebuild,
-and the structured ``UnitFailure(kind="timeout")`` records.
+Covers the robustness additions: exponential retry backoff with
+deterministic per-unit jitter, the per-unit wall-clock timeout,
+hung-worker termination with pool rebuild, corrupt-cache quarantine,
+per-attempt wall-time records, and the structured ``UnitFailure`` kinds.
 """
 
 from __future__ import annotations
@@ -14,7 +15,12 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments import parallel as parallel_module
 from repro.experiments.common import ScenarioConfig, ScenarioResult
-from repro.experiments.parallel import WorkUnit, run_grid
+from repro.experiments.parallel import (
+    ResultCache,
+    WorkUnit,
+    retry_jitter,
+    run_grid,
+)
 
 #: Empty scheduler set: result validation accepts a bare ScenarioResult,
 #: letting these tests use stub runners instead of real simulations.
@@ -81,9 +87,13 @@ class TestRetryBackoff:
         assert report.ok
         assert report.stats.retries == 2
         assert attempts["count"] == 3
-        # First retry waits ~backoff_base, second ~2x that (the engine
-        # may split one wait across wake-ups, so compare the total).
-        assert sum(sleeps) >= 0.02 + 0.04 - 0.005
+        # First retry waits ~backoff_base, second ~2x that, each scaled
+        # by the unit's deterministic jitter (the engine may split one
+        # wait across wake-ups, so compare the total).
+        unit = _unit("flaky")
+        expected = 0.02 * parallel_module.retry_jitter(unit, 1)
+        expected += 0.04 * parallel_module.retry_jitter(unit, 2)
+        assert sum(sleeps) >= expected - 0.005
 
     def test_zero_backoff_retries_immediately(self, monkeypatch):
         monkeypatch.setattr(
@@ -165,3 +175,90 @@ class TestUnitTimeout:
         assert failure.kind == "error"
         assert "broken unit" in failure.error
         assert failure.to_dict()["kind"] == "error"
+
+
+class TestRetryJitterDeterminism:
+    def test_jitter_is_a_pure_function_of_unit_and_attempt(self):
+        unit = _unit("a", seed=5)
+        assert retry_jitter(unit, 1) == retry_jitter(_unit("a", seed=5), 1)
+        assert retry_jitter(unit, 1) != retry_jitter(unit, 2)
+        assert retry_jitter(unit, 1) != retry_jitter(_unit("b", seed=5), 1)
+
+    def test_jitter_stays_in_half_to_three_halves(self):
+        for name in ("a", "b", "c", "d"):
+            for attempt in (1, 2, 3, 7):
+                value = retry_jitter(_unit(name), attempt)
+                assert 0.5 <= value < 1.5
+
+
+class TestAttemptWallTimes:
+    def test_failure_records_per_attempt_seconds(self):
+        def boom(unit: WorkUnit) -> ScenarioResult:
+            raise ValueError("always broken")
+
+        report = run_grid(
+            [_unit("boom")], retries=2, run_unit=boom, use_threads=True,
+            parallel=2,
+        )
+        (failure,) = report.failures
+        assert failure.attempts == 3
+        assert len(failure.attempt_seconds) == 3
+        assert all(seconds >= 0.0 for seconds in failure.attempt_seconds)
+        assert failure.to_dict()["attempt_seconds"] == failure.attempt_seconds
+
+    def test_timeout_failure_records_attempt_seconds(self):
+        report = run_grid(
+            [_unit("hang")],
+            parallel=2,
+            unit_timeout=0.5,
+            run_unit=_always_hang,
+        )
+        (failure,) = report.failures
+        assert failure.kind == "timeout"
+        assert len(failure.attempt_seconds) == 1
+        assert failure.attempt_seconds[0] >= 0.5
+
+
+class TestCacheQuarantine:
+    def test_truncated_entry_is_quarantined_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = _unit("quarantine")
+        cache.store(unit, ScenarioResult(config=unit.config))
+        entry = cache.path_for(unit)
+        raw = entry.read_bytes()
+        entry.write_bytes(raw[: len(raw) // 2])  # torn mid-write
+
+        assert cache.load(unit) is None
+        assert cache.corrupt_entries == 1
+        assert not entry.exists()  # moved aside, slot free for rewrite
+        assert entry.with_suffix(".corrupt").exists()
+
+        report = run_grid([unit], cache=cache, run_unit=_ok, use_threads=True)
+        assert report.ok
+        assert report.stats.cache_corrupt == 0  # quarantined before the run
+        assert cache.load(unit) is not None  # recomputed and re-stored
+
+    def test_quarantine_counted_in_grid_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = _unit("quarantine-stats")
+        cache.store(unit, ScenarioResult(config=unit.config))
+        entry = cache.path_for(unit)
+        entry.write_bytes(b"\x80\x04garbage")
+
+        report = run_grid([unit], cache=cache, run_unit=_ok, use_threads=True)
+        assert report.ok
+        assert report.stats.cache_corrupt == 1
+
+    def test_format_skew_is_a_plain_miss_not_quarantine(self, tmp_path):
+        import pickle
+
+        cache = ResultCache(tmp_path)
+        unit = _unit("old-format")
+        entry = cache.path_for(unit)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(
+            pickle.dumps({"format": "repro-cache-v0", "result": None})
+        )
+        assert cache.load(unit) is None
+        assert cache.corrupt_entries == 0
+        assert entry.exists()  # left in place: version skew, not damage

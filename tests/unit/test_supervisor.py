@@ -1,0 +1,240 @@
+"""The supervised run manager: manifests, statuses, resume, budgets."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import GridExecutionError, ManifestError
+from repro.experiments.common import (
+    ScenarioConfig,
+    build_fault_profile,
+    build_jobs,
+    build_topology,
+    run_scenario,
+)
+from repro.experiments.parallel import WorkUnit, default_cache_salt
+from repro.experiments.supervisor import (
+    MANIFEST_SCHEMA,
+    config_from_record,
+    execute_supervised_unit,
+    load_manifest,
+    resume_run,
+    run_supervised,
+    unit_from_record,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import CoflowSimulation
+
+SCHEDULERS = ("pfs", "gurita")
+
+
+def _config(**overrides) -> ScenarioConfig:
+    base = dict(name="sup", num_jobs=5, seed=9, schedulers=SCHEDULERS)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestManifestRecords:
+    def test_config_record_round_trip(self):
+        config = _config(
+            arrival_mode="bursty",
+            offered_load=2.0,
+            fault_profile="link-flap",
+            fault_intensity=1.5,
+        )
+        unit = WorkUnit(config=config, seed=77, label="rt")
+        salt = default_cache_salt()
+        from repro.experiments.supervisor import _unit_record
+
+        record = _unit_record(unit, salt)
+        rebuilt = unit_from_record(record, salt)
+        assert rebuilt.config == config
+        assert rebuilt.seed == 77
+        assert rebuilt.label == "rt"
+        assert rebuilt.fingerprint(salt) == unit.fingerprint(salt)
+
+    def test_tampered_record_raises_manifest_error(self):
+        unit = WorkUnit(config=_config())
+        salt = default_cache_salt()
+        from repro.experiments.supervisor import _unit_record
+
+        record = _unit_record(unit, salt)
+        record["config"]["num_jobs"] = 999  # edited after the fact
+        with pytest.raises(ManifestError, match="stale"):
+            unit_from_record(record, salt)
+
+    def test_unknown_config_field_raises_manifest_error(self):
+        with pytest.raises(ManifestError):
+            config_from_record({"name": "x", "not_a_field": 1})
+
+    def test_load_manifest_rejects_garbage_and_bad_schema(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(tmp_path / "missing.json")
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{not json")
+        with pytest.raises(ManifestError):
+            load_manifest(bad)
+        bad.write_text(json.dumps({"schema": MANIFEST_SCHEMA + 1}))
+        with pytest.raises(ManifestError, match="schema"):
+            load_manifest(bad)
+
+
+class TestRunSupervised:
+    def test_clean_run_matches_run_scenario(self, tmp_path):
+        config = _config()
+        report = run_supervised(
+            [WorkUnit(config=config)], tmp_path, checkpoint_every=0.5
+        )
+        assert report.statuses == ["completed"]
+        assert report.ok and not report.resumable
+        supervised = report.report.results[0]
+        plain = run_scenario(config)
+        for name in SCHEDULERS:
+            assert (
+                supervised.results[name].job_completion_times()
+                == plain.results[name].job_completion_times()
+            )
+        # Completed units leave no checkpoint/partial litter behind.
+        assert not list((tmp_path / "checkpoints").glob("*.ckpt"))
+        assert not list((tmp_path / "partial").glob("*.pkl"))
+
+    def test_manifest_records_statuses_and_round_trips(self, tmp_path):
+        run_supervised([WorkUnit(config=_config())], tmp_path)
+        manifest = load_manifest(tmp_path)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["salt"] == default_cache_salt()
+        (record,) = manifest["units"]
+        assert record["status"] == "completed"
+        unit_from_record(record, manifest["salt"])  # verifies fingerprint
+
+    def test_partial_state_resumes_and_reuses_completed_scheduler(
+        self, tmp_path
+    ):
+        config = _config()
+        unit = WorkUnit(config=config)
+        fingerprint = unit.fingerprint(default_cache_salt())
+
+        # Simulate an interrupted attempt: scheduler "pfs" already done,
+        # its result persisted in the unit's partial file.
+        topology = build_topology(config)
+        jobs = build_jobs(config, topology.num_hosts)
+        done = CoflowSimulation(
+            topology,
+            make_scheduler("pfs"),
+            jobs,
+            faults=build_fault_profile(config),
+        ).run()
+        partial_dir = tmp_path / "partial"
+        partial_dir.mkdir(parents=True)
+        (partial_dir / f"{fingerprint}.pkl").write_bytes(
+            pickle.dumps({"pfs": done})
+        )
+
+        report = run_supervised([unit], tmp_path)
+        assert report.statuses == ["resumed"]
+        outcome = report.report.results[0]
+        plain = run_scenario(config)
+        for name in SCHEDULERS:
+            assert (
+                outcome.results[name].job_completion_times()
+                == plain.results[name].job_completion_times()
+            )
+
+    def test_budget_abandons_then_resume_completes(self, tmp_path):
+        units = [WorkUnit(config=_config()), WorkUnit(config=_config(), seed=2)]
+        report = run_supervised(
+            units, tmp_path, run_budget=1e-9, allow_partial=True
+        )
+        assert report.statuses == ["abandoned", "abandoned"]
+        assert report.resumable and not report.ok
+        assert report.report.stats.abandoned == 2
+        manifest = load_manifest(tmp_path)
+        assert [u["status"] for u in manifest["units"]] == [
+            "abandoned",
+            "abandoned",
+        ]
+
+        resumed = resume_run(tmp_path)
+        assert resumed.statuses == ["completed", "completed"]
+        plain = run_scenario(_config())
+        outcome = resumed.report.results[0]
+        for name in SCHEDULERS:
+            assert (
+                outcome.results[name].job_completion_times()
+                == plain.results[name].job_completion_times()
+            )
+
+    def test_allow_partial_false_raises_but_writes_manifest(self, tmp_path):
+        units = [WorkUnit(config=_config())]
+        with pytest.raises(GridExecutionError, match="resumable"):
+            run_supervised(units, tmp_path, run_budget=1e-9)
+        manifest = load_manifest(tmp_path)
+        assert manifest["units"][0]["status"] == "abandoned"
+
+    def test_status_counts_and_to_dict(self, tmp_path):
+        report = run_supervised(
+            [WorkUnit(config=_config())], tmp_path, allow_partial=True
+        )
+        counts = report.counts()
+        assert counts["completed"] == 1
+        payload = report.to_dict()
+        assert payload["statuses"] == ["completed"]
+        assert payload["status_counts"]["completed"] == 1
+        assert payload["manifest"].endswith("manifest.json")
+        assert payload["stats"]["abandoned"] == 0
+        json.dumps(payload)  # JSON-safe end to end
+
+
+class TestResumeRun:
+    def test_salt_mismatch_rejected(self, tmp_path):
+        run_supervised([WorkUnit(config=_config())], tmp_path)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["salt"] = "someone-elses-build"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ManifestError, match="salt"):
+            resume_run(manifest_path)
+
+    def test_empty_manifest_rejected(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "salt": default_cache_salt(),
+                    "units": [],
+                }
+            )
+        )
+        with pytest.raises(ManifestError, match="no units"):
+            resume_run(manifest_path)
+
+    def test_resume_accepts_directory_or_file(self, tmp_path):
+        run_supervised([WorkUnit(config=_config())], tmp_path)
+        by_dir = resume_run(tmp_path)
+        by_file = resume_run(tmp_path / "manifest.json")
+        assert by_dir.statuses == by_file.statuses == ["completed"]
+
+
+class TestSupervisedWorker:
+    def test_corrupt_checkpoint_falls_back_to_fresh_run(self, tmp_path):
+        config = _config()
+        unit = WorkUnit(config=config)
+        salt = default_cache_salt()
+        fingerprint = unit.fingerprint(salt)
+        ckpt_dir = tmp_path / "checkpoints"
+        ckpt_dir.mkdir(parents=True)
+        (ckpt_dir / f"{fingerprint}.pfs.ckpt").write_bytes(b"garbage bytes")
+
+        outcome = execute_supervised_unit(
+            unit, str(tmp_path), checkpoint_every=0.5, salt=salt
+        )
+        plain = run_scenario(config)
+        for name in SCHEDULERS:
+            assert (
+                outcome.results[name].job_completion_times()
+                == plain.results[name].job_completion_times()
+            )
